@@ -1,0 +1,35 @@
+# Reproduction of "The Cost of Teaching Operational ML" (SC Workshops '25).
+
+GO ?= go
+
+.PHONY: build test race bench repro csv examples clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure plus the capacity/support views.
+repro:
+	$(GO) run ./cmd/coursesim
+
+csv:
+	$(GO) run ./cmd/coursesim -summary -csv out/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/gourmetgram
+	$(GO) run ./examples/distributed-training
+	$(GO) run ./examples/capacity-planning
+	$(GO) run ./examples/edge-serving
+	$(GO) run ./examples/data-pipeline
+
+clean:
+	rm -rf out/ test_output.txt bench_output.txt

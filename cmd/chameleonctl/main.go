@@ -1,0 +1,157 @@
+// Command chameleonctl drives the IaaS simulator interactively, mirroring
+// the OpenStack CLI workflow from the Unit-2 lab ("ClickOps" → CLI).
+// Commands are read from stdin, one per line:
+//
+//	launch <name> <flavor>          provision an instance
+//	delete <id>                     terminate an instance
+//	list                            list instances
+//	fip <instance-id>               allocate + associate a floating IP
+//	volume <name> <sizeGB>          create a block-storage volume
+//	attach <volume-id> <inst-id>    attach a volume
+//	advance <hours>                 advance virtual time
+//	usage                           show metered hours by flavor
+//	quota                           show project quota usage
+//	help / quit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/blockstore"
+	"repro/internal/cloud"
+	"repro/internal/simclock"
+)
+
+func main() {
+	log.SetFlags(0)
+	clk := simclock.New()
+	cl := cloud.New("kvm@ctl", clk)
+	cl.AddVMCapacity(8, 48, 192)
+	cl.AddBareMetal(2, cloud.GPUA100PCIe)
+	cl.CreateProject("sandbox", cloud.DefaultProjectQuota())
+	bs := blockstore.New(clk, cl)
+
+	fmt.Println("chameleonctl — OpenStack-style CLI over the cloud simulator (type 'help')")
+	sc := bufio.NewScanner(os.Stdin)
+	prompt := func() { fmt.Print("openstack> ") }
+	prompt()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			prompt()
+			continue
+		}
+		switch cmd := fields[0]; cmd {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Println("launch <name> <flavor> | delete <id> | list | fip <inst-id> |")
+			fmt.Println("volume <name> <GB> | attach <vol-id> <inst-id> | advance <hours> | usage | quota | quit")
+		case "launch":
+			if len(fields) != 3 {
+				fmt.Println("usage: launch <name> <flavor>")
+				break
+			}
+			flavor, err := cloud.FlavorByName(fields[2])
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			inst, err := cl.Launch(cloud.LaunchSpec{Project: "sandbox", Name: fields[1], Flavor: flavor})
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Printf("%s ACTIVE on %s\n", inst.ID, inst.Host)
+		case "delete":
+			if len(fields) != 2 {
+				fmt.Println("usage: delete <id>")
+				break
+			}
+			if err := cl.Delete(fields[1]); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Println("deleted")
+			}
+		case "list":
+			for _, inst := range cl.List(nil) {
+				fmt.Printf("%-14s %-16s %-14s %-8s fip=%-15s %.1fh\n",
+					inst.ID, inst.Name, inst.Flavor.Name, inst.State, inst.FloatingIP, inst.HoursAt(clk.Now()))
+			}
+		case "fip":
+			if len(fields) != 2 {
+				fmt.Println("usage: fip <instance-id>")
+				break
+			}
+			fip, err := cl.AllocateFloatingIP("sandbox", nil)
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			if err := cl.AssociateFloatingIP(fip.ID, fields[1]); err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Printf("associated %s\n", fip.Address)
+		case "volume":
+			if len(fields) != 3 {
+				fmt.Println("usage: volume <name> <sizeGB>")
+				break
+			}
+			size, err := strconv.Atoi(fields[2])
+			if err != nil {
+				fmt.Println("bad size:", fields[2])
+				break
+			}
+			v, err := bs.Create("sandbox", fields[1], size)
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Printf("%s available (%d GB)\n", v.ID, v.SizeGB)
+		case "attach":
+			if len(fields) != 3 {
+				fmt.Println("usage: attach <volume-id> <instance-id>")
+				break
+			}
+			if err := bs.Attach(fields[1], fields[2]); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Println("attached")
+			}
+		case "advance":
+			if len(fields) != 2 {
+				fmt.Println("usage: advance <hours>")
+				break
+			}
+			h, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil || h < 0 {
+				fmt.Println("bad hours:", fields[1])
+				break
+			}
+			clk.RunUntil(clk.Now() + h)
+			fmt.Printf("virtual time is now %.1fh\n", clk.Now())
+		case "usage":
+			for flavor, hours := range cl.Meter().HoursByResource(clk.Now(), cloud.UsageInstance, nil) {
+				fmt.Printf("%-16s %.1f instance-hours\n", flavor, hours)
+			}
+		case "quota":
+			p, err := cl.GetProject("sandbox")
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Printf("instances %d/%d  cores %d/%d  ram %d/%d GB  fips %d/%d\n",
+				p.Usage.Instances, p.Quota.Instances, p.Usage.Cores, p.Quota.Cores,
+				p.Usage.RAMGB, p.Quota.RAMGB, p.Usage.FloatingIPs, p.Quota.FloatingIPs)
+		default:
+			fmt.Printf("unknown command %q (try 'help')\n", cmd)
+		}
+		prompt()
+	}
+}

@@ -1,0 +1,105 @@
+// Command costcalc estimates commercial-cloud costs for ad-hoc resource
+// specs using the paper's July-2025 price catalog.
+//
+// Usage:
+//
+//	costcalc -row 2 -hours 300 -fip-hours 100        # a Table-1 row
+//	costcalc -class gpu-a100 -hours 48               # a project class
+//	costcalc -expected                               # expected per-student lab cost
+//	costcalc -catalog                                # dump the price catalog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cost"
+	"repro/internal/course"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("costcalc: ")
+	var (
+		rowID    = flag.String("row", "", "Table-1 row ID (e.g. 2, 4-multi-a100)")
+		class    = flag.String("class", "", "project instance class (e.g. gpu-a100)")
+		hours    = flag.Float64("hours", 0, "instance hours")
+		fipHours = flag.Float64("fip-hours", 0, "floating-IP hours")
+		expected = flag.Bool("expected", false, "price the §3 expected per-student durations")
+		catalog  = flag.Bool("catalog", false, "print the price catalog")
+	)
+	flag.Parse()
+
+	switch {
+	case *catalog:
+		printCatalog()
+	case *expected:
+		printExpected()
+	case *rowID != "":
+		for _, p := range []cost.Provider{cost.AWS, cost.GCP} {
+			c, err := cost.LabRowCost(cost.LabUsage{RowID: *rowID, InstanceHours: *hours, FIPHours: *fipHours}, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eq, _ := cost.LabEquivalent(*rowID)
+			fmt.Printf("%s: $%.2f  (%s @ $%.4f/h + IP @ $%.3f/h)\n",
+				p, c, eq.Rate(p).Instance, eq.Rate(p).PerHour, cost.FloatingIPRate)
+		}
+	case *class != "":
+		eq, err := cost.ProjectEquivalent(*class)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, p := range []cost.Provider{cost.AWS, cost.GCP} {
+			fmt.Printf("%s: $%.2f  (%s @ $%.4f/h)\n",
+				p, *hours*eq.Rate(p).PerHour, eq.Rate(p).Instance, eq.Rate(p).PerHour)
+		}
+	default:
+		flag.Usage()
+	}
+}
+
+func printExpected() {
+	var usages []cost.LabUsage
+	for _, r := range course.Rows() {
+		usages = append(usages, cost.LabUsage{
+			RowID:         r.ID,
+			InstanceHours: r.ExpectedHours * float64(r.VMsPerStudent) * r.Share,
+			FIPHours:      r.ExpectedHours * r.Share,
+		})
+	}
+	for _, p := range []cost.Provider{cost.AWS, cost.GCP} {
+		c, err := cost.LabCost(usages, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("expected per-student lab cost on %s: $%.2f\n", p, c)
+	}
+}
+
+func printCatalog() {
+	rows := [][]string{{"Row", "AWS Equivalent", "AWS $/h", "GCP Equivalent", "GCP $/h"}}
+	for _, r := range course.Rows() {
+		if r.ID == "6-edge" {
+			rows = append(rows, []string{r.ID, "—", "—", "—", "—"})
+			continue
+		}
+		eq, err := cost.LabEquivalent(r.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows = append(rows, []string{
+			r.ID,
+			eq.AWS.Instance, fmt.Sprintf("%.4f", eq.AWS.PerHour),
+			eq.GCP.Instance, fmt.Sprintf("%.4f", eq.GCP.PerHour),
+		})
+	}
+	fmt.Print(report.Table(rows))
+	fmt.Printf("floating IP: $%.3f/h on both providers\n", cost.FloatingIPRate)
+	fmt.Printf("block storage: $%.2f (AWS) / $%.2f (GCP) per GB-month\n",
+		cost.BlockGBMonthRate(cost.AWS), cost.BlockGBMonthRate(cost.GCP))
+	fmt.Printf("object storage: $%.3f (AWS) / $%.3f (GCP) per GB-month\n",
+		cost.ObjectGBMonthRate(cost.AWS), cost.ObjectGBMonthRate(cost.GCP))
+}

@@ -1,0 +1,182 @@
+// Command coursesim runs the full course simulation and regenerates the
+// paper's Table 1 and Figures 1–3, plus the §5 headline numbers and the
+// capacity-planning views.
+//
+// Usage:
+//
+//	coursesim [-students N] [-seed S] [-table1] [-fig1] [-fig2] [-fig3]
+//	          [-summary] [-quota] [-reservations]
+//
+// With no selection flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/course"
+	"repro/internal/platforms"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/support"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coursesim: ")
+	var (
+		students = flag.Int("students", course.Enrollment, "enrollment")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		table1   = flag.Bool("table1", false, "print Table 1")
+		fig1     = flag.Bool("fig1", false, "print Fig 1 (expected vs actual)")
+		fig2     = flag.Bool("fig2", false, "print Fig 2 (cost distribution)")
+		fig3     = flag.Bool("fig3", false, "print Fig 3 (project usage)")
+		summary  = flag.Bool("summary", false, "print headline totals")
+		quota    = flag.Bool("quota", false, "print peak concurrency vs quota")
+		reserve  = flag.Bool("reservations", false, "print GPU reservation plan")
+		supp     = flag.Bool("support", false, "print forum/office-hour support load")
+		csvDir   = flag.String("csv", "", "also write table1/fig1/fig2/fig3 CSVs to this directory")
+		platf    = flag.Bool("platforms", false, "print the §4 platform capability matrix")
+		seeds    = flag.Int("seeds", 0, "run N extra seeds and print headline mean/std (robustness check)")
+	)
+	flag.Parse()
+	all := !(*table1 || *fig1 || *fig2 || *fig3 || *summary || *quota || *reserve || *supp || *platf)
+
+	s, err := core.Planner{Students: *students, Seed: *seed}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := os.Stdout
+	paper := course.Paper()
+
+	if all || *summary {
+		fmt.Fprintf(out, "Machine Learning Systems Engineering and Operations — simulated offering\n")
+		fmt.Fprintf(out, "students=%d seed=%d\n\n", *students, *seed)
+		fmt.Fprintf(out, "lab instance hours:   %9.0f   (paper: %.0f)\n", s.LabInstanceHours, paper.LabInstanceHours)
+		fmt.Fprintf(out, "lab floating-IP hrs:  %9.0f   (paper: %.0f)\n", s.LabFIPHours, paper.LabFIPHours)
+		fmt.Fprintf(out, "total compute hours:  %9.0f   (paper: 186692)\n", s.TotalHours())
+		fmt.Fprintf(out, "lab cost:      AWS $%8.0f  GCP $%8.0f   (paper: $%.0f / $%.0f)\n",
+			s.LabCostAWS, s.LabCostGCP, paper.LabCostAWS, paper.LabCostGCP)
+		fmt.Fprintf(out, "project cost:  AWS $%8.0f  GCP $%8.0f   (paper: $%.0f / $%.0f)\n",
+			s.ProjectCostAWS, s.ProjectCostGCP, paper.ProjectCostAWS, paper.ProjectCostGCP)
+		fmt.Fprintf(out, "per student:   AWS $%8.0f  GCP $%8.0f   (paper: ≈$250)\n\n",
+			s.PerStudentAWS, s.PerStudentGCP)
+	}
+	if *seeds > 1 {
+		printSeedSweep(out, *students, *seeds)
+	}
+	if all || *table1 {
+		fmt.Fprintln(out, "Table 1: usage and estimated cost by lab assignment and node type")
+		t, err := report.Table1(s.Labs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintln(out, t)
+	}
+	if all || *fig1 {
+		fmt.Fprintln(out, report.Fig1(s.Labs))
+	}
+	if all || *fig2 {
+		for _, p := range []cost.Provider{cost.AWS, cost.GCP} {
+			f, err := report.Fig2(s.Labs, p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintln(out, f)
+		}
+	}
+	if all || *fig3 {
+		fmt.Fprintln(out, report.Fig3(s.Projects))
+	}
+	if all || *quota {
+		fmt.Fprintln(out, "Peak simultaneous usage vs the requested KVM@TACC quota:")
+		peak := core.PeakConcurrency(s.Labs)
+		for _, line := range core.QuotaCheck(peak, cloud.CourseQuota()) {
+			fmt.Fprintf(out, "  %s\n", line)
+		}
+		fmt.Fprintln(out)
+	}
+	if all || *platf {
+		fmt.Fprintln(out, "Platform comparison (paper §4):")
+		fmt.Fprintln(out, platforms.Matrix())
+		for _, v := range platforms.Evaluate(platforms.CourseRequirements()) {
+			verdict := "unsuitable"
+			if v.Qualified {
+				verdict = "QUALIFIES"
+			}
+			fmt.Fprintf(out, "  %-18s %-10s %s\n", v.Platform.Name, verdict, v.Platform.Notes)
+		}
+		fmt.Fprintln(out)
+	}
+	if all || *supp {
+		fmt.Fprintln(out, "Human support infrastructure (paper: >700 threads, >3000 posts):")
+		fmt.Fprintln(out, support.Simulate(support.Config{Students: *students, Seed: *seed}).Summary())
+	}
+	if *csvDir != "" {
+		if err := writeCSVs(*csvDir, s); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(out, "wrote CSVs to %s\n\n", *csvDir)
+	}
+	if all || *reserve {
+		fmt.Fprintln(out, "Advance GPU reservation plan (week-long staff holds):")
+		rows := [][]string{{"Node Type", "Week", "Nodes", "Demand (h)", "Utilization"}}
+		for _, p := range core.PlanReservations(*students) {
+			rows = append(rows, []string{
+				p.NodeType,
+				fmt.Sprintf("%d", p.Week),
+				fmt.Sprintf("%d", p.Nodes),
+				fmt.Sprintf("%.0f", p.DemandHours),
+				fmt.Sprintf("%.0f%%", 100*p.Utilization),
+			})
+		}
+		fmt.Fprintln(out, report.Table(rows))
+	}
+}
+
+// writeCSVs emits the machine-readable figure data.
+func writeCSVs(dir string, s *core.Summary) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	files := map[string]func() (string, error){
+		"table1.csv":   func() (string, error) { return report.Table1CSV(s.Labs) },
+		"fig1.csv":     func() (string, error) { return report.Fig1CSV(s.Labs) },
+		"fig2_aws.csv": func() (string, error) { return report.Fig2CSV(s.Labs, cost.AWS) },
+		"fig2_gcp.csv": func() (string, error) { return report.Fig2CSV(s.Labs, cost.GCP) },
+		"fig3.csv":     func() (string, error) { return report.Fig3CSV(s.Projects) },
+	}
+	for name, gen := range files {
+		data, err := gen()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printSeedSweep reports headline stability across seeds.
+func printSeedSweep(out *os.File, students, n int) {
+	var hours, aws []float64
+	for seed := 1; seed <= n; seed++ {
+		s, err := core.Planner{Students: students, Seed: uint64(seed)}.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		hours = append(hours, s.LabInstanceHours)
+		aws = append(aws, s.LabCostAWS)
+	}
+	h := stats.Summarize(hours)
+	a := stats.Summarize(aws)
+	fmt.Fprintf(out, "robustness over %d seeds: lab hours %.0f ± %.0f (%.2f%%), AWS cost $%.0f ± $%.0f\n\n",
+		n, h.Mean, h.Std, 100*h.Std/h.Mean, a.Mean, a.Std)
+}

@@ -1,0 +1,41 @@
+// Command trackingd serves the experiment-tracking and model-registry
+// REST API over HTTP — the MLflow-server role from the Unit-5 lab.
+//
+// Usage:
+//
+//	trackingd [-addr :5000]
+//
+// Endpoints (JSON):
+//
+//	POST /api/experiments                         {"name": ...}
+//	POST /api/runs                                {"experiment_id", "name"}
+//	POST /api/runs/{id}/params                    {"key", "value"}
+//	POST /api/runs/{id}/metrics                   {"key", "step", "value"}
+//	POST /api/runs/{id}/end                       {"status"}
+//	GET  /api/runs/{id}
+//	GET  /api/experiments/{id}/runs
+//	POST /api/models/{name}/versions              {"run_id", "artifact_path"}
+//	POST /api/models/{name}/versions/{v}/stage    {"stage"}
+//	GET  /api/models/{name}/latest?stage=Production
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"repro/internal/tracking"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trackingd: ")
+	addr := flag.String("addr", ":5000", "listen address")
+	flag.Parse()
+
+	store := tracking.NewStore()
+	log.Printf("experiment tracking server listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, tracking.NewServer(store)); err != nil {
+		log.Fatal(err)
+	}
+}

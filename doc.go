@@ -1,0 +1,11 @@
+// Package repro reproduces "The Cost of Teaching Operational ML"
+// (SC Workshops '25) as a Go library: a Chameleon-style cloud testbed
+// simulator, the MLOps substrate the course teaches, a calibrated
+// student-usage simulator, and the AWS/GCP cost model behind the paper's
+// Table 1 and Figures 1–3.
+//
+// Start with pkg/mlsysops (the public facade), cmd/coursesim (the
+// experiment runner), and DESIGN.md (the system inventory and experiment
+// index). The benchmark harness in bench_test.go regenerates every table
+// and figure; EXPERIMENTS.md records paper-vs-measured values.
+package repro

@@ -1,0 +1,260 @@
+package blockstore
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/simclock"
+)
+
+func newSvc() (*Service, *cloud.Cloud, *simclock.Clock) {
+	clk := simclock.New()
+	cl := cloud.New("test", clk)
+	cl.CreateProject("p", cloud.Quota{Volumes: 3, BlockStorageGB: 10,
+		Instances: 10, Cores: 100, RAMGB: 100})
+	return New(clk, cl), cl, clk
+}
+
+func TestVolumeLifecycle(t *testing.T) {
+	s, _, _ := newSvc()
+	v, err := s.Create("p", "data", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateAvailable {
+		t.Fatalf("state = %v, want available", v.State)
+	}
+	if err := s.Attach(v.ID, "inst-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Format(v.ID, "ext4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mount(v.ID, "/mnt/data"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile(v.ID, "db/state.json", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadFile(v.ID, "db/state.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte(`{"ok":true}`)) {
+		t.Errorf("read back %q", got)
+	}
+}
+
+func TestPersistenceAcrossInstances(t *testing.T) {
+	// The Unit-8 learning objective: data survives instance replacement.
+	s, _, _ := newSvc()
+	v, _ := s.Create("p", "data", 2)
+	mustNil(t, s.Attach(v.ID, "inst-old"))
+	mustNil(t, s.Format(v.ID, "ext4"))
+	mustNil(t, s.Mount(v.ID, "/mnt"))
+	mustNil(t, s.WriteFile(v.ID, "model.bin", []byte("weights")))
+	mustNil(t, s.Detach(v.ID))
+
+	mustNil(t, s.Attach(v.ID, "inst-new"))
+	mustNil(t, s.Mount(v.ID, "/mnt"))
+	got, err := s.ReadFile(v.ID, "model.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "weights" {
+		t.Errorf("data lost across reattach: %q", got)
+	}
+}
+
+func TestStateMachineGuards(t *testing.T) {
+	s, _, _ := newSvc()
+	v, _ := s.Create("p", "data", 1)
+	if err := s.Format(v.ID, "ext4"); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("format unattached err = %v", err)
+	}
+	if err := s.Mount(v.ID, "/mnt"); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("mount unattached err = %v", err)
+	}
+	mustNil(t, s.Attach(v.ID, "i1"))
+	if err := s.Mount(v.ID, "/mnt"); !errors.Is(err, ErrNotFormatted) {
+		t.Errorf("mount unformatted err = %v", err)
+	}
+	if err := s.WriteFile(v.ID, "x", nil); !errors.Is(err, ErrNotMounted) {
+		t.Errorf("write unmounted err = %v", err)
+	}
+	if err := s.Attach(v.ID, "i2"); !errors.Is(err, ErrInUse) {
+		t.Errorf("double attach err = %v", err)
+	}
+	if err := s.Delete(v.ID); !errors.Is(err, ErrInUse) {
+		t.Errorf("delete attached err = %v", err)
+	}
+}
+
+func TestFormatErasesData(t *testing.T) {
+	s, _, _ := newSvc()
+	v, _ := s.Create("p", "data", 1)
+	mustNil(t, s.Attach(v.ID, "i1"))
+	mustNil(t, s.Format(v.ID, "ext4"))
+	mustNil(t, s.Mount(v.ID, "/mnt"))
+	mustNil(t, s.WriteFile(v.ID, "f", []byte("x")))
+	mustNil(t, s.Format(v.ID, "xfs"))
+	mustNil(t, s.Mount(v.ID, "/mnt"))
+	if _, err := s.ReadFile(v.ID, "f"); err == nil {
+		t.Error("data survived reformat")
+	}
+}
+
+func TestQuotaEnforcement(t *testing.T) {
+	s, cl, _ := newSvc()
+	if _, err := s.Create("p", "big", 20); !errors.Is(err, ErrQuota) {
+		t.Errorf("oversize create err = %v, want ErrQuota", err)
+	}
+	v1, err := s.Create("p", "a", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create("p", "b", 6); !errors.Is(err, ErrQuota) {
+		t.Errorf("second create err = %v, want ErrQuota (6+6 > 10)", err)
+	}
+	mustNil(t, s.Delete(v1.ID))
+	if _, err := s.Create("p", "b", 6); err != nil {
+		t.Errorf("create after delete: %v", err)
+	}
+	p, _ := cl.GetProject("p")
+	if p.Usage.BlockStorageGB != 6 || p.Usage.Volumes != 1 {
+		t.Errorf("usage after churn: %+v", p.Usage)
+	}
+}
+
+func TestVolumeCountQuota(t *testing.T) {
+	s, _, _ := newSvc()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Create("p", "v", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Create("p", "v4", 1); !errors.Is(err, ErrQuota) {
+		t.Errorf("4th volume err = %v, want ErrQuota", err)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	s, _, _ := newSvc()
+	v, _ := s.Create("p", "data", 2)
+	mustNil(t, s.Attach(v.ID, "i1"))
+	mustNil(t, s.Format(v.ID, "ext4"))
+	mustNil(t, s.Mount(v.ID, "/mnt"))
+	mustNil(t, s.WriteFile(v.ID, "a", []byte("1")))
+	snap, err := s.Snapshot(v.ID, "before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustNil(t, s.WriteFile(v.ID, "a", []byte("2")))
+
+	restored, err := s.Restore(snap.ID, "p", "restored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustNil(t, s.Attach(restored.ID, "i2"))
+	mustNil(t, s.Mount(restored.ID, "/mnt2"))
+	got, err := s.ReadFile(restored.ID, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "1" {
+		t.Errorf("snapshot contents = %q, want pre-write value", got)
+	}
+}
+
+func TestMeteringGBHours(t *testing.T) {
+	s, cl, clk := newSvc()
+	v, _ := s.Create("p", "data", 4)
+	clk.RunUntil(10)
+	mustNil(t, s.Delete(v.ID))
+	clk.RunUntil(20)
+	recs := cl.Meter().Records(func(r *cloud.UsageRecord) bool {
+		return r.Kind == cloud.UsageBlockStorageGB
+	})
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	gbHours := recs[0].Quantity * recs[0].Hours(clk.Now())
+	if gbHours != 40 {
+		t.Errorf("GB-hours = %v, want 40", gbHours)
+	}
+}
+
+func TestInvalidSize(t *testing.T) {
+	s, _, _ := newSvc()
+	if _, err := s.Create("p", "bad", 0); err == nil {
+		t.Error("expected error for zero-size volume")
+	}
+}
+
+func TestListByProject(t *testing.T) {
+	s, cl, _ := newSvc()
+	cl.CreateProject("q", cloud.DefaultProjectQuota())
+	_, _ = s.Create("p", "a", 1)
+	_, _ = s.Create("q", "b", 1)
+	if got := len(s.List("p")); got != 1 {
+		t.Errorf("List(p) = %d, want 1", got)
+	}
+	if got := len(s.List("")); got != 2 {
+		t.Errorf("List() = %d, want 2", got)
+	}
+}
+
+func mustNil(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmountAndErrors(t *testing.T) {
+	s, _, _ := newSvc()
+	v, _ := s.Create("p", "vol", 1)
+	if err := s.Unmount(v.ID); !errors.Is(err, ErrNotMounted) {
+		t.Errorf("unmount unmounted err = %v", err)
+	}
+	mustNil(t, s.Attach(v.ID, "i1"))
+	mustNil(t, s.Format(v.ID, "ext4"))
+	mustNil(t, s.Mount(v.ID, "/mnt"))
+	mustNil(t, s.Unmount(v.ID))
+	if err := s.WriteFile(v.ID, "x", nil); !errors.Is(err, ErrNotMounted) {
+		t.Errorf("write after unmount err = %v", err)
+	}
+	// Reads on missing volumes.
+	if _, err := s.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get missing err = %v", err)
+	}
+	if err := s.Detach("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("detach missing err = %v", err)
+	}
+	if _, err := s.Snapshot("ghost", "s"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("snapshot missing err = %v", err)
+	}
+	if _, err := s.Restore("ghost", "p", "r"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("restore missing err = %v", err)
+	}
+	// Detach when available fails.
+	v2, _ := s.Create("p", "v2", 1)
+	if err := s.Detach(v2.ID); !errors.Is(err, ErrNotAttached) {
+		t.Errorf("detach available err = %v", err)
+	}
+	// Read of a missing file on a mounted volume.
+	mustNil(t, s.Attach(v2.ID, "i2"))
+	mustNil(t, s.Format(v2.ID, "ext4"))
+	mustNil(t, s.Mount(v2.ID, "/m"))
+	if _, err := s.ReadFile(v2.ID, "none"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("read missing file err = %v", err)
+	}
+	// Deleted volumes disappear from Get.
+	v3, _ := s.Create("p", "v3", 1)
+	mustNil(t, s.Delete(v3.ID))
+	if _, err := s.Get(v3.ID); !errors.Is(err, ErrNotFound) {
+		t.Errorf("get deleted err = %v", err)
+	}
+}

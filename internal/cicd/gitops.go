@@ -1,0 +1,135 @@
+package cicd
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/orchestrator"
+)
+
+// Repo is the declarative source of truth a GitOps controller watches: a
+// versioned store of deployment manifests, standing in for a git
+// repository of Kubernetes YAML.
+type Repo struct {
+	mu        sync.Mutex
+	revision  int
+	manifests map[string]orchestrator.Deployment
+}
+
+// NewRepo returns an empty manifest repository at revision 0.
+func NewRepo() *Repo {
+	return &Repo{manifests: map[string]orchestrator.Deployment{}}
+}
+
+// Commit records manifests (add or replace by name) and bumps the
+// revision, like pushing to the tracked branch.
+func (r *Repo) Commit(deployments ...orchestrator.Deployment) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range deployments {
+		r.manifests[d.Name] = d
+	}
+	r.revision++
+	return r.revision
+}
+
+// Remove deletes a manifest and bumps the revision.
+func (r *Repo) Remove(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.manifests, name)
+	r.revision++
+	return r.revision
+}
+
+// Revision returns the current revision.
+func (r *Repo) Revision() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.revision
+}
+
+func (r *Repo) snapshot() (int, map[string]orchestrator.Deployment) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]orchestrator.Deployment, len(r.manifests))
+	for k, v := range r.manifests {
+		out[k] = v
+	}
+	return r.revision, out
+}
+
+// SyncStatus reports a controller's agreement with its repo.
+type SyncStatus int
+
+const (
+	Synced SyncStatus = iota
+	OutOfSync
+)
+
+func (s SyncStatus) String() string {
+	if s == Synced {
+		return "Synced"
+	}
+	return "OutOfSync"
+}
+
+// SyncController continuously converges a cluster toward the repo's
+// manifests — the Argo CD role in the Unit-3 lab.
+type SyncController struct {
+	Repo    *Repo
+	Cluster *orchestrator.Cluster
+
+	mu             sync.Mutex
+	syncedRevision int
+	managed        map[string]bool
+}
+
+// NewSyncController returns a controller managing cluster from repo.
+func NewSyncController(repo *Repo, cluster *orchestrator.Cluster) *SyncController {
+	return &SyncController{Repo: repo, Cluster: cluster, managed: map[string]bool{}}
+}
+
+// Status reports whether the last sync covered the repo's current
+// revision.
+func (s *SyncController) Status() SyncStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.syncedRevision == s.Repo.Revision() {
+		return Synced
+	}
+	return OutOfSync
+}
+
+// Sync applies the repo's manifests to the cluster (pruning deployments
+// the controller created that are no longer declared), reconciles to a
+// fixed point, and records the synced revision. It returns the applied
+// revision and the number of reconciliation actions.
+func (s *SyncController) Sync() (revision, actions int, err error) {
+	rev, manifests := s.Repo.snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	names := make([]string, 0, len(manifests))
+	for n := range manifests {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Cluster.Apply(manifests[n])
+		s.managed[n] = true
+	}
+	// Prune: managed deployments missing from the repo.
+	for n := range s.managed {
+		if _, ok := manifests[n]; !ok {
+			if derr := s.Cluster.DeleteDeployment(n); derr != nil && err == nil {
+				err = fmt.Errorf("cicd: prune %s: %w", n, derr)
+			}
+			delete(s.managed, n)
+		}
+	}
+	actions = s.Cluster.ReconcileToFixedPoint()
+	s.syncedRevision = rev
+	return rev, actions, err
+}

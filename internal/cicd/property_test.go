@@ -1,0 +1,133 @@
+package cicd
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// TestWorkflowPropertyRandomDAGs builds random acyclic workflows (edges
+// only point to earlier steps, so they are DAGs by construction) and
+// checks the two execution invariants: every step runs exactly once, and
+// no step finishes before all of its dependencies.
+func TestWorkflowPropertyRandomDAGs(t *testing.T) {
+	f := func(rawN uint8, edges []uint16) bool {
+		n := int(rawN%12) + 1
+		var ran int64
+		steps := make([]Step, n)
+		for i := 0; i < n; i++ {
+			steps[i] = Step{
+				Name: fmt.Sprintf("s%02d", i),
+				Run: func(*Context) error {
+					atomic.AddInt64(&ran, 1)
+					return nil
+				},
+			}
+		}
+		// Attach random edges i -> j with j < i.
+		for _, e := range edges {
+			to := int(e) % n
+			from := int(e/256) % n
+			if to < from {
+				steps[from].DependsOn = append(steps[from].DependsOn, steps[to].Name)
+			}
+		}
+		w := Workflow{Name: "prop", Steps: steps}
+		res, err := w.Run()
+		if err != nil || !res.Succeeded {
+			return false
+		}
+		if atomic.LoadInt64(&ran) != int64(n) || len(res.FinishOrder) != n {
+			return false
+		}
+		pos := map[string]int{}
+		for i, name := range res.FinishOrder {
+			pos[name] = i
+		}
+		for _, s := range steps {
+			for _, dep := range s.DependsOn {
+				if pos[dep] > pos[s.Name] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWorkflowPropertyFailurePartition randomly fails one step and checks
+// the partition invariant: exactly the failed step's transitive
+// dependents are Skipped; everything else Succeeded.
+func TestWorkflowPropertyFailurePartition(t *testing.T) {
+	f := func(rawN, failRaw uint8, edges []uint16) bool {
+		n := int(rawN%10) + 2
+		fail := int(failRaw) % n
+		steps := make([]Step, n)
+		deps := make([][]int, n)
+		for i := 0; i < n; i++ {
+			i := i
+			steps[i] = Step{Name: fmt.Sprintf("s%02d", i)}
+			if i == fail {
+				steps[i].Run = func(*Context) error { return fmt.Errorf("boom") }
+			} else {
+				steps[i].Run = func(*Context) error { return nil }
+			}
+		}
+		for _, e := range edges {
+			to := int(e) % n
+			from := int(e/256) % n
+			if to < from {
+				steps[from].DependsOn = append(steps[from].DependsOn, steps[to].Name)
+				deps[from] = append(deps[from], to)
+			}
+		}
+		// Transitive dependents of fail.
+		dependent := make([]bool, n)
+		changed := true
+		for changed {
+			changed = false
+			for i := 0; i < n; i++ {
+				if dependent[i] {
+					continue
+				}
+				for _, d := range deps[i] {
+					if d == fail || dependent[d] {
+						dependent[i] = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		w := Workflow{Name: "prop", Steps: steps}
+		res, err := w.Run()
+		if err == nil || res.Succeeded {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			got := res.Steps[steps[i].Name].Status
+			switch {
+			case i == fail:
+				if got != StepFailed {
+					return false
+				}
+			case dependent[i]:
+				if got != StepSkipped {
+					return false
+				}
+			default:
+				if got != StepSucceeded {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

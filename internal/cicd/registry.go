@@ -1,0 +1,156 @@
+package cicd
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/simclock"
+)
+
+// Registry errors.
+var (
+	ErrNoImage = errors.New("cicd: image not found in registry")
+	ErrBadRef  = errors.New("cicd: malformed image reference")
+)
+
+// ImageRef is a name:tag reference.
+type ImageRef struct {
+	Name string
+	Tag  string
+}
+
+// ParseRef splits "name:tag" ("latest" when no tag).
+func ParseRef(s string) (ImageRef, error) {
+	if s == "" {
+		return ImageRef{}, ErrBadRef
+	}
+	if i := strings.LastIndexByte(s, ':'); i > 0 {
+		return ImageRef{Name: s[:i], Tag: s[i+1:]}, nil
+	}
+	return ImageRef{Name: s, Tag: "latest"}, nil
+}
+
+func (r ImageRef) String() string { return r.Name + ":" + r.Tag }
+
+// ImageManifest is a stored container image.
+type ImageManifest struct {
+	Ref      ImageRef
+	Digest   string
+	SizeKB   int
+	PushedAt float64
+}
+
+// Registry is a content-addressed container-image registry — the shared
+// service behind every deployment in the course: CI pushes, the
+// orchestrator (conceptually) pulls, and tags are mutable while digests
+// are not.
+type Registry struct {
+	mu    sync.Mutex
+	clock *simclock.Clock
+	// byTag maps name:tag to digest; blobs maps digest to manifest.
+	byTag map[string]string
+	blobs map[string]*ImageManifest
+}
+
+// NewRegistry returns an empty registry; clock may be nil (timestamps 0).
+func NewRegistry(clock *simclock.Clock) *Registry {
+	return &Registry{clock: clock, byTag: map[string]string{}, blobs: map[string]*ImageManifest{}}
+}
+
+func (r *Registry) now() float64 {
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock.Now()
+}
+
+// Push stores image content under ref and returns its digest. Pushing
+// identical content to a new tag reuses the blob (content addressing).
+func (r *Registry) Push(ref string, content []byte) (string, error) {
+	pr, err := ParseRef(ref)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(content)
+	digest := "sha256:" + hex.EncodeToString(sum[:12])
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.blobs[digest]; !ok {
+		r.blobs[digest] = &ImageManifest{
+			Ref: pr, Digest: digest,
+			SizeKB:   (len(content) + 1023) / 1024,
+			PushedAt: r.now(),
+		}
+	}
+	r.byTag[pr.String()] = digest
+	return digest, nil
+}
+
+// Resolve returns the digest currently behind a tag.
+func (r *Registry) Resolve(ref string) (string, error) {
+	pr, err := ParseRef(ref)
+	if err != nil {
+		return "", err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d, ok := r.byTag[pr.String()]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoImage, pr)
+	}
+	return d, nil
+}
+
+// PullByDigest fetches an image manifest by immutable digest.
+func (r *Registry) PullByDigest(digest string) (*ImageManifest, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m, ok := r.blobs[digest]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoImage, digest)
+	}
+	return m, nil
+}
+
+// Tags lists all tags for an image name, sorted.
+func (r *Registry) Tags(name string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for tagged := range r.byTag {
+		if strings.HasPrefix(tagged, name+":") {
+			out = append(out, strings.TrimPrefix(tagged, name+":"))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PinnedRef returns "name@digest" for deployment manifests that must not
+// drift when the tag moves — the supply-chain hygiene the DevOps lecture
+// recommends.
+func (r *Registry) PinnedRef(ref string) (string, error) {
+	pr, err := ParseRef(ref)
+	if err != nil {
+		return "", err
+	}
+	d, err := r.Resolve(ref)
+	if err != nil {
+		return "", err
+	}
+	return pr.Name + "@" + d, nil
+}
+
+// AutoSync arms a periodic reconcile of a SyncController on the clock —
+// Argo CD's sync loop. It returns the number of sync cycles executed so
+// far via the counter function.
+func AutoSync(clock *simclock.Clock, ctl *SyncController, start, interval float64, stop func() bool) *simclock.Event {
+	return clock.Every(start, interval, "cicd.autosync", func() {
+		_, _, _ = ctl.Sync()
+	}, stop)
+}

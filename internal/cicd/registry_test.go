@@ -1,0 +1,111 @@
+package cicd
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/orchestrator"
+	"repro/internal/simclock"
+)
+
+func TestRegistryPushResolvePull(t *testing.T) {
+	r := NewRegistry(nil)
+	d1, err := r.Push("gourmetgram/clf:v1", []byte("layer-v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Resolve("gourmetgram/clf:v1")
+	if err != nil || got != d1 {
+		t.Fatalf("resolve = %s, %v", got, err)
+	}
+	m, err := r.PullByDigest(d1)
+	if err != nil || m.SizeKB != 1 {
+		t.Fatalf("pull: %+v, %v", m, err)
+	}
+}
+
+func TestRegistryContentAddressing(t *testing.T) {
+	r := NewRegistry(nil)
+	d1, _ := r.Push("a:v1", []byte("same-bytes"))
+	d2, _ := r.Push("b:v9", []byte("same-bytes"))
+	if d1 != d2 {
+		t.Error("identical content produced different digests")
+	}
+	d3, _ := r.Push("a:v2", []byte("other-bytes"))
+	if d3 == d1 {
+		t.Error("different content shares a digest")
+	}
+}
+
+func TestRegistryMutableTagsImmutableDigests(t *testing.T) {
+	r := NewRegistry(nil)
+	d1, _ := r.Push("clf:prod", []byte("v1"))
+	d2, _ := r.Push("clf:prod", []byte("v2")) // tag moves
+	if cur, _ := r.Resolve("clf:prod"); cur != d2 {
+		t.Error("tag did not move")
+	}
+	// The old digest still pulls.
+	if _, err := r.PullByDigest(d1); err != nil {
+		t.Errorf("old digest gone: %v", err)
+	}
+	pinned, err := r.PinnedRef("clf:prod")
+	if err != nil || pinned != "clf@"+d2 {
+		t.Errorf("pinned = %s, %v", pinned, err)
+	}
+}
+
+func TestRegistryErrorsAndTags(t *testing.T) {
+	r := NewRegistry(nil)
+	if _, err := r.Resolve("missing:v1"); !errors.Is(err, ErrNoImage) {
+		t.Errorf("resolve missing err = %v", err)
+	}
+	if _, err := r.Push("", nil); !errors.Is(err, ErrBadRef) {
+		t.Errorf("empty ref err = %v", err)
+	}
+	if _, err := r.PullByDigest("sha256:nope"); !errors.Is(err, ErrNoImage) {
+		t.Errorf("pull missing err = %v", err)
+	}
+	// Default tag and tag listing.
+	_, _ = r.Push("clf", []byte("x"))
+	_, _ = r.Push("clf:v2", []byte("y"))
+	tags := r.Tags("clf")
+	if len(tags) != 2 || tags[0] != "latest" || tags[1] != "v2" {
+		t.Errorf("tags = %v", tags)
+	}
+}
+
+func TestAutoSyncLoop(t *testing.T) {
+	clk := simclock.New()
+	cluster := orchestrator.NewCluster()
+	cluster.AddNode("n1", 4000, 8192)
+	repo := NewRepo()
+	ctl := NewSyncController(repo, cluster)
+	repo.Commit(orchestrator.Deployment{Name: "web", Replicas: 1,
+		Spec: orchestrator.PodSpec{Image: "web:v1", CPUMilli: 100, MemMB: 128}})
+
+	cycles := 0
+	AutoSync(clk, ctl, 1, 5, func() bool { cycles++; return cycles >= 4 })
+	clk.Run()
+	if cycles != 4 {
+		t.Fatalf("cycles = %d", cycles)
+	}
+	if ctl.Status() != Synced {
+		t.Error("not synced after auto-sync")
+	}
+	if got := len(cluster.Pods("web")); got != 1 {
+		t.Errorf("pods = %d", got)
+	}
+
+	// A later commit is picked up by the next tick.
+	cycles = 0
+	repo.Commit(orchestrator.Deployment{Name: "web", Replicas: 3,
+		Spec: orchestrator.PodSpec{Image: "web:v2", CPUMilli: 100, MemMB: 128}})
+	if ctl.Status() != OutOfSync {
+		t.Fatal("should be OutOfSync after commit")
+	}
+	AutoSync(clk, ctl, clk.Now()+1, 5, func() bool { cycles++; return cycles >= 1 })
+	clk.Run()
+	if ctl.Status() != Synced || len(cluster.Pods("web")) != 3 {
+		t.Errorf("after second auto-sync: %v pods, %v", len(cluster.Pods("web")), ctl.Status())
+	}
+}

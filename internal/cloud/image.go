@@ -1,0 +1,127 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Image is a bootable machine image — the shared image-management
+// service the Unit-2 lecture lists among cloud building blocks. Images
+// are either public base images (CC-Ubuntu24.04 and friends) or private
+// snapshots captured from a project's instance, which is how students
+// avoided repeating lengthy setup between labs.
+type Image struct {
+	ID      string
+	Name    string
+	Project string // "" for public images
+	Public  bool
+	// Packages captures the software baked into the image; launching
+	// from a snapshot restores it (modeled as tag metadata here).
+	Packages []string
+	SizeGB   int
+	// SourceInstance records provenance for snapshots.
+	SourceInstance string
+	CreatedAt      float64
+}
+
+// Image errors.
+var (
+	ErrImageNotFound = errors.New("cloud: image not found")
+	ErrImageAccess   = errors.New("cloud: image is private to another project")
+)
+
+// imageStore is embedded in Cloud lazily; images live in the Cloud
+// struct's map initialized on first use.
+func (c *Cloud) imagesLocked() map[string]*Image {
+	if c.images == nil {
+		c.images = map[string]*Image{}
+	}
+	return c.images
+}
+
+// RegisterPublicImage adds a provider-supplied base image.
+func (c *Cloud) RegisterPublicImage(name string, sizeGB int, packages ...string) *Image {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	img := &Image{
+		ID: c.id("img"), Name: name, Public: true,
+		Packages: append([]string(nil), packages...),
+		SizeGB:   sizeGB, CreatedAt: c.clock.Now(),
+	}
+	c.imagesLocked()[img.ID] = img
+	return img
+}
+
+// SnapshotInstance captures a running instance into a private image for
+// the instance's project.
+func (c *Cloud) SnapshotInstance(instanceID, imageName string) (*Image, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.instances[instanceID]
+	if !ok || inst.State == StateDeleted {
+		return nil, fmt.Errorf("%w: instance %q", ErrNotFound, instanceID)
+	}
+	img := &Image{
+		ID: c.id("img"), Name: imageName, Project: inst.Project,
+		SizeGB:         inst.Flavor.DiskGB,
+		SourceInstance: instanceID,
+		CreatedAt:      c.clock.Now(),
+	}
+	// Carry setup state: tags beginning with "pkg:" model installed
+	// software surviving into the snapshot.
+	for k := range inst.Tags {
+		if len(k) > 4 && k[:4] == "pkg:" {
+			img.Packages = append(img.Packages, k[4:])
+		}
+	}
+	sort.Strings(img.Packages)
+	c.imagesLocked()[img.ID] = img
+	return img, nil
+}
+
+// GetImage fetches an image, enforcing visibility for the project.
+func (c *Cloud) GetImage(imageID, project string) (*Image, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	img, ok := c.imagesLocked()[imageID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrImageNotFound, imageID)
+	}
+	if !img.Public && img.Project != project {
+		return nil, fmt.Errorf("%w: %q", ErrImageAccess, imageID)
+	}
+	return img, nil
+}
+
+// ListImages returns images visible to a project (public + its own),
+// sorted by name.
+func (c *Cloud) ListImages(project string) []*Image {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Image
+	for _, img := range c.imagesLocked() {
+		if img.Public || img.Project == project {
+			out = append(out, img)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// LaunchFromImage launches an instance pre-configured with the image's
+// packages (as "pkg:" tags), enforcing image visibility.
+func (c *Cloud) LaunchFromImage(spec LaunchSpec, imageID string) (*Instance, error) {
+	img, err := c.GetImage(imageID, spec.Project)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Tags == nil {
+		spec.Tags = map[string]string{}
+	}
+	spec.Tags["image"] = img.Name
+	for _, p := range img.Packages {
+		spec.Tags["pkg:"+p] = "installed"
+	}
+	return c.Launch(spec)
+}

@@ -1,0 +1,103 @@
+package cloud
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+func imageTestCloud() (*Cloud, *simclock.Clock) {
+	clk := simclock.New()
+	c := New("img@test", clk)
+	c.AddVMCapacity(2, 48, 192)
+	c.CreateProject("p1", CourseQuota())
+	c.CreateProject("p2", CourseQuota())
+	return c, clk
+}
+
+func TestPublicImageVisibleToAll(t *testing.T) {
+	c, _ := imageTestCloud()
+	img := c.RegisterPublicImage("CC-Ubuntu24.04", 8, "openssh-server")
+	for _, proj := range []string{"p1", "p2"} {
+		got, err := c.GetImage(img.ID, proj)
+		if err != nil || got.Name != "CC-Ubuntu24.04" {
+			t.Errorf("project %s: %v, %v", proj, got, err)
+		}
+	}
+}
+
+func TestSnapshotCapturesSetupState(t *testing.T) {
+	c, _ := imageTestCloud()
+	inst, err := c.Launch(LaunchSpec{Project: "p1", Name: "setup-vm", Flavor: M1Medium,
+		Tags: map[string]string{"pkg:docker": "installed", "pkg:kubeadm": "installed", "lab": "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := c.SnapshotInstance(inst.ID, "lab3-ready")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.Packages) != 2 || img.Packages[0] != "docker" || img.Packages[1] != "kubeadm" {
+		t.Errorf("snapshot packages: %v", img.Packages)
+	}
+	if img.Project != "p1" || img.Public {
+		t.Errorf("snapshot visibility: %+v", img)
+	}
+
+	// Launch from the snapshot: setup state restored.
+	inst2, err := c.LaunchFromImage(LaunchSpec{Project: "p1", Name: "restored", Flavor: M1Medium}, img.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst2.Tags["pkg:docker"] != "installed" || inst2.Tags["image"] != "lab3-ready" {
+		t.Errorf("restored tags: %v", inst2.Tags)
+	}
+}
+
+func TestPrivateImageAccessDenied(t *testing.T) {
+	c, _ := imageTestCloud()
+	inst, _ := c.Launch(LaunchSpec{Project: "p1", Flavor: M1Small})
+	img, _ := c.SnapshotInstance(inst.ID, "private")
+	if _, err := c.GetImage(img.ID, "p2"); !errors.Is(err, ErrImageAccess) {
+		t.Errorf("cross-project access err = %v", err)
+	}
+	if _, err := c.LaunchFromImage(LaunchSpec{Project: "p2", Flavor: M1Small}, img.ID); !errors.Is(err, ErrImageAccess) {
+		t.Errorf("cross-project launch err = %v", err)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	c, _ := imageTestCloud()
+	if _, err := c.SnapshotInstance("ghost", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing instance err = %v", err)
+	}
+	inst, _ := c.Launch(LaunchSpec{Project: "p1", Flavor: M1Small})
+	_ = c.Delete(inst.ID)
+	if _, err := c.SnapshotInstance(inst.ID, "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted instance err = %v", err)
+	}
+	if _, err := c.GetImage("img-999999", "p1"); !errors.Is(err, ErrImageNotFound) {
+		t.Errorf("missing image err = %v", err)
+	}
+}
+
+func TestListImagesVisibilityAndOrder(t *testing.T) {
+	c, _ := imageTestCloud()
+	c.RegisterPublicImage("zz-base", 4)
+	c.RegisterPublicImage("aa-base", 4)
+	inst, _ := c.Launch(LaunchSpec{Project: "p1", Flavor: M1Small})
+	_, _ = c.SnapshotInstance(inst.ID, "mine")
+
+	p1 := c.ListImages("p1")
+	if len(p1) != 3 {
+		t.Fatalf("p1 sees %d images", len(p1))
+	}
+	if p1[0].Name != "aa-base" {
+		t.Error("images not sorted by name")
+	}
+	p2 := c.ListImages("p2")
+	if len(p2) != 2 {
+		t.Errorf("p2 sees %d images, want public only", len(p2))
+	}
+}

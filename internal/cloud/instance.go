@@ -1,0 +1,195 @@
+package cloud
+
+import "fmt"
+
+// InstanceState models the OpenStack instance lifecycle subset the course
+// exercises.
+type InstanceState int
+
+const (
+	StateBuild InstanceState = iota
+	StateActive
+	StateShutoff
+	StateDeleted
+	StateError
+)
+
+func (s InstanceState) String() string {
+	switch s {
+	case StateBuild:
+		return "BUILD"
+	case StateActive:
+		return "ACTIVE"
+	case StateShutoff:
+		return "SHUTOFF"
+	case StateDeleted:
+		return "DELETED"
+	case StateError:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("InstanceState(%d)", int(s))
+	}
+}
+
+// Instance is a provisioned compute resource: VM, bare-metal node, or edge
+// device. Billing runs from LaunchedAt until DeletedAt regardless of
+// SHUTOFF state, matching on-demand cloud billing for reserved capacity.
+type Instance struct {
+	ID      string
+	Name    string
+	Project string
+	Flavor  Flavor
+	State   InstanceState
+
+	// Tags associate usage with course structure; the simulator sets
+	// "lab" and "student" tags so the meter can attribute hours the way
+	// the paper did via naming conventions.
+	Tags map[string]string
+
+	Host       string
+	FixedIP    string
+	FloatingIP string // address, empty if none
+
+	LaunchedAt float64
+	DeletedAt  float64 // -1 while running
+}
+
+// Running reports whether the instance still accrues usage.
+func (i *Instance) Running() bool { return i.State != StateDeleted && i.State != StateError }
+
+// HoursAt returns accrued instance hours as of time now.
+func (i *Instance) HoursAt(now float64) float64 {
+	end := i.DeletedAt
+	if end < 0 {
+		end = now
+	}
+	if end < i.LaunchedAt {
+		return 0
+	}
+	return end - i.LaunchedAt
+}
+
+// Host is a hypervisor (for VMs) or a physical node (bare metal / edge).
+// Bare-metal and edge hosts accept exactly one instance whose flavor name
+// matches the host's node type, mirroring Chameleon's reservable nodes.
+type Host struct {
+	Name  string
+	Class ResourceClass
+	// NodeType constrains bare-metal/edge hosts to one flavor.
+	NodeType string
+
+	// Capacity for VM hosts. Overcommit is applied by the placement
+	// policy, not stored here.
+	VCPUs int
+	RAMGB int
+
+	allocVCPUs int
+	allocRAMGB int
+	instances  map[string]*Instance
+}
+
+// NewVMHost returns a hypervisor with the given capacity.
+func NewVMHost(name string, vcpus, ramGB int) *Host {
+	return &Host{Name: name, Class: ClassVM, VCPUs: vcpus, RAMGB: ramGB,
+		instances: map[string]*Instance{}}
+}
+
+// NewBareMetalHost returns a reservable physical node of the given type.
+func NewBareMetalHost(name string, nodeType Flavor) *Host {
+	return &Host{Name: name, Class: nodeType.Class, NodeType: nodeType.Name,
+		VCPUs: nodeType.VCPUs, RAMGB: nodeType.RAMGB,
+		instances: map[string]*Instance{}}
+}
+
+// Fits reports whether the host can accept an instance of flavor f.
+func (h *Host) Fits(f Flavor) bool {
+	if h.Class != f.Class {
+		return false
+	}
+	if h.Class != ClassVM {
+		return h.NodeType == f.Name && len(h.instances) == 0
+	}
+	return h.allocVCPUs+f.VCPUs <= h.VCPUs && h.allocRAMGB+f.RAMGB <= h.RAMGB
+}
+
+// FreeVCPUs returns remaining vCPU capacity (VM hosts).
+func (h *Host) FreeVCPUs() int { return h.VCPUs - h.allocVCPUs }
+
+// FreeRAMGB returns remaining memory capacity (VM hosts).
+func (h *Host) FreeRAMGB() int { return h.RAMGB - h.allocRAMGB }
+
+// InstanceCount returns the number of instances currently placed here.
+func (h *Host) InstanceCount() int { return len(h.instances) }
+
+func (h *Host) place(i *Instance) {
+	h.allocVCPUs += i.Flavor.VCPUs
+	h.allocRAMGB += i.Flavor.RAMGB
+	h.instances[i.ID] = i
+	i.Host = h.Name
+}
+
+func (h *Host) evict(i *Instance) {
+	if _, ok := h.instances[i.ID]; !ok {
+		return
+	}
+	h.allocVCPUs -= i.Flavor.VCPUs
+	h.allocRAMGB -= i.Flavor.RAMGB
+	delete(h.instances, i.ID)
+}
+
+// Placer chooses a host for an instance; implementations include the
+// default first-fit here and the bin-packing policies in internal/sched.
+type Placer interface {
+	// Place returns the chosen host or nil if no host fits.
+	Place(hosts []*Host, f Flavor) *Host
+}
+
+// FirstFit places each instance on the first host with room, the
+// OpenStack default-ish baseline.
+type FirstFit struct{}
+
+// Place implements Placer.
+func (FirstFit) Place(hosts []*Host, f Flavor) *Host {
+	for _, h := range hosts {
+		if h.Fits(f) {
+			return h
+		}
+	}
+	return nil
+}
+
+// BestFit places each instance on the feasible host with the least free
+// vCPUs, consolidating load to keep large holes available.
+type BestFit struct{}
+
+// Place implements Placer.
+func (BestFit) Place(hosts []*Host, f Flavor) *Host {
+	var best *Host
+	for _, h := range hosts {
+		if !h.Fits(f) {
+			continue
+		}
+		if best == nil || h.FreeVCPUs() < best.FreeVCPUs() {
+			best = h
+		}
+	}
+	return best
+}
+
+// WorstFit spreads instances across the emptiest hosts, trading
+// consolidation for noisy-neighbor isolation.
+type WorstFit struct{}
+
+// Place implements Placer.
+func (WorstFit) Place(hosts []*Host, f Flavor) *Host {
+	var best *Host
+	for _, h := range hosts {
+		if !h.Fits(f) {
+			continue
+		}
+		if best == nil || h.FreeVCPUs() > best.FreeVCPUs() {
+			best = h
+		}
+	}
+	return best
+}

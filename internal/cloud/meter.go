@@ -1,0 +1,133 @@
+package cloud
+
+// UsageKind classifies a metered resource for cost attribution.
+type UsageKind int
+
+const (
+	UsageInstance UsageKind = iota
+	UsageFloatingIP
+	UsageBlockStorageGB
+	UsageObjectStorageGB
+)
+
+func (k UsageKind) String() string {
+	switch k {
+	case UsageInstance:
+		return "instance"
+	case UsageFloatingIP:
+		return "floating_ip"
+	case UsageBlockStorageGB:
+		return "block_gb"
+	case UsageObjectStorageGB:
+		return "object_gb"
+	default:
+		return "unknown"
+	}
+}
+
+// UsageRecord is one metered interval of resource consumption. For
+// instance and floating-IP records, Quantity is 1 and Hours() gives the
+// billable hours; for storage records Quantity is the size in GB.
+type UsageRecord struct {
+	Kind     UsageKind
+	Project  string
+	Resource string // flavor/node-type name, or "" for IPs/storage
+	Tags     map[string]string
+	Quantity float64
+	Start    float64
+	End      float64 // -1 while open
+}
+
+// Hours returns the record's duration as of time now (open records meter
+// up to now).
+func (r UsageRecord) Hours(now float64) float64 {
+	end := r.End
+	if end < 0 {
+		end = now
+	}
+	if end < r.Start {
+		return 0
+	}
+	return end - r.Start
+}
+
+// Meter accumulates usage records for later aggregation. It is not
+// concurrency-safe on its own; Cloud serializes access.
+type Meter struct {
+	records []*UsageRecord
+}
+
+// Open starts a new metering interval and returns the record so the
+// caller can close it later.
+func (m *Meter) Open(kind UsageKind, project, resource string, tags map[string]string, qty, start float64) *UsageRecord {
+	r := &UsageRecord{Kind: kind, Project: project, Resource: resource,
+		Tags: tags, Quantity: qty, Start: start, End: -1}
+	m.records = append(m.records, r)
+	return r
+}
+
+// Close ends a metering interval at time end. Closing an already-closed
+// record is a no-op (idempotent deletes).
+func (m *Meter) Close(r *UsageRecord, end float64) {
+	if r != nil && r.End < 0 {
+		r.End = end
+	}
+}
+
+// Records returns all records matching the filter (nil filter = all). The
+// returned slice shares record pointers with the meter; callers must not
+// mutate them.
+func (m *Meter) Records(filter func(*UsageRecord) bool) []*UsageRecord {
+	var out []*UsageRecord
+	for _, r := range m.records {
+		if filter == nil || filter(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TotalHours sums Hours(now) over records matching the filter.
+func (m *Meter) TotalHours(now float64, filter func(*UsageRecord) bool) float64 {
+	var total float64
+	for _, r := range m.records {
+		if filter == nil || filter(r) {
+			total += r.Hours(now)
+		}
+	}
+	return total
+}
+
+// HoursByTag aggregates Hours(now) for records of the given kind, grouped
+// by the value of tag key (records lacking the tag group under "").
+func (m *Meter) HoursByTag(now float64, kind UsageKind, key string) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range m.records {
+		if r.Kind != kind {
+			continue
+		}
+		out[r.Tags[key]] += r.Hours(now)
+	}
+	return out
+}
+
+// HoursByResource aggregates instance hours by flavor/node-type name for
+// records of the given kind matching the filter.
+func (m *Meter) HoursByResource(now float64, kind UsageKind, filter func(*UsageRecord) bool) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range m.records {
+		if r.Kind != kind {
+			continue
+		}
+		if filter != nil && !filter(r) {
+			continue
+		}
+		out[r.Resource] += r.Hours(now)
+	}
+	return out
+}
+
+// TagFilter returns a filter matching records whose tag key equals value.
+func TagFilter(key, value string) func(*UsageRecord) bool {
+	return func(r *UsageRecord) bool { return r.Tags[key] == value }
+}

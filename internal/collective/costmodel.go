@@ -1,0 +1,78 @@
+package collective
+
+import "math"
+
+// CostModel is the classic alpha–beta (latency–bandwidth) communication
+// model: sending an m-byte message costs Alpha + m·Beta seconds. The
+// defaults approximate a 100 Gb/s datacenter fabric with ~10 µs launch
+// latency, the class of interconnect behind the course's multi-GPU nodes.
+type CostModel struct {
+	Alpha float64 // seconds per message
+	Beta  float64 // seconds per byte
+}
+
+// DefaultCostModel returns the 100 Gb/s / 10 µs model used for
+// cross-node communication by the training simulator.
+func DefaultCostModel() CostModel {
+	return CostModel{Alpha: 10e-6, Beta: 8.0 / 100e9}
+}
+
+// NVLinkCostModel returns an intra-node GPU interconnect model (~300 GB/s
+// effective per direction, ~3 µs launch), the regime of the course's
+// multi-GPU bare-metal nodes.
+func NVLinkCostModel() CostModel {
+	return CostModel{Alpha: 3e-6, Beta: 1.0 / 300e9}
+}
+
+// Ring returns the predicted seconds for ring all-reduce of bytes across
+// n workers: 2(n−1) steps, each moving bytes/n per worker.
+// T = 2(n−1)·α + 2·(n−1)/n·bytes·β — bandwidth-optimal, latency-heavy.
+func (m CostModel) Ring(n int, bytes float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	return 2*(fn-1)*m.Alpha + 2*(fn-1)/fn*bytes*m.Beta
+}
+
+// Tree returns the predicted seconds for a binary-tree all-reduce:
+// 2·ceil(log2 n) steps each moving the full payload.
+func (m CostModel) Tree(n int, bytes float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	steps := 2 * math.Ceil(math.Log2(float64(n)))
+	return steps * (m.Alpha + bytes*m.Beta)
+}
+
+// Central returns the predicted seconds for the parameter-server
+// baseline: the root link serializes (n−1) receives plus (n−1) sends of
+// the full payload.
+func (m CostModel) Central(n int, bytes float64) float64 {
+	if n <= 1 {
+		return 0
+	}
+	fn := float64(n)
+	return 2 * (fn - 1) * (m.Alpha + bytes*m.Beta)
+}
+
+// RingCrossoverBytes returns the payload size above which ring beats tree
+// under this model (solving Ring(n,b) = Tree(n,b)); +Inf if ring never
+// wins, 0 if it always does.
+func (m CostModel) RingCrossoverBytes(n int) float64 {
+	if n <= 2 {
+		return 0 // identical or degenerate topologies
+	}
+	fn := float64(n)
+	steps := 2 * math.Ceil(math.Log2(fn))
+	// (2(n-1) - steps)·α = (steps - 2(n-1)/n)·b·β
+	num := (2*(fn-1) - steps) * m.Alpha
+	den := (steps - 2*(fn-1)/fn) * m.Beta
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	if num <= 0 {
+		return 0
+	}
+	return num / den
+}

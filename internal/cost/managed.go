@@ -1,0 +1,97 @@
+package cost
+
+import "fmt"
+
+// Unit 10's lecture was a demo of the GourmetGram stack on a commercial
+// cloud using managed services: a VM, a managed Kubernetes cluster,
+// a serverless function endpoint, a managed GPU notebook, and storage.
+// This file prices that demo so the optional lab's cost is quantifiable —
+// and so self-managed vs managed trade-offs can be compared in examples.
+
+// Managed-service rates (July-2025 snapshots, us-east-1/us-central1).
+type managedRates struct {
+	K8sControlPlaneHour float64 // EKS / GKE standard cluster fee
+	ServerlessPerMReq   float64 // per million requests
+	ServerlessGBSecond  float64 // per GB-second of execution
+	NotebookGPUHour     float64 // managed notebook with a T4-class GPU
+	RegistryGBMonth     float64 // container image storage
+}
+
+var managed = map[Provider]managedRates{
+	AWS: {K8sControlPlaneHour: 0.10, ServerlessPerMReq: 0.20,
+		ServerlessGBSecond: 0.0000166667, NotebookGPUHour: 0.736, RegistryGBMonth: 0.10},
+	GCP: {K8sControlPlaneHour: 0.10, ServerlessPerMReq: 0.40,
+		ServerlessGBSecond: 0.0000025, NotebookGPUHour: 0.35, RegistryGBMonth: 0.10},
+}
+
+// ManagedDemoUsage describes one run of the Unit-10 demo.
+type ManagedDemoUsage struct {
+	Hours              float64 // wall-clock duration of the demo
+	VMClass            string  // project VM class for the demo VM
+	K8sNodes           int     // worker nodes in the managed cluster
+	ServerlessRequests float64
+	ServerlessGBSec    float64
+	NotebookHours      float64
+	RegistryGB         float64
+	RegistryMonths     float64
+}
+
+// DefaultUnit10Demo returns the 2-hour demo configuration §3.10 sketches:
+// a VM, a small managed cluster, a serverless endpoint taking light demo
+// traffic, a GPU notebook session, and container-image storage.
+func DefaultUnit10Demo() ManagedDemoUsage {
+	return ManagedDemoUsage{
+		Hours:              2,
+		VMClass:            "m1.medium",
+		K8sNodes:           3,
+		ServerlessRequests: 50000,
+		ServerlessGBSec:    50000 * 0.5 * 0.25, // 500ms at 256MB each
+		NotebookHours:      2,
+		RegistryGB:         4,
+		RegistryMonths:     0.1,
+	}
+}
+
+// ManagedDemoCost prices the demo on a provider: the VM, control-plane
+// fee plus worker nodes (priced as the VM class), serverless invocation
+// and compute, the notebook, and registry storage.
+func ManagedDemoCost(u ManagedDemoUsage, p Provider) (float64, error) {
+	rates, ok := managed[p]
+	if !ok {
+		return 0, fmt.Errorf("cost: no managed rates for provider %v", p)
+	}
+	vm, err := ProjectEquivalent(u.VMClass)
+	if err != nil {
+		return 0, err
+	}
+	vmRate := vm.Rate(p).PerHour
+	total := u.Hours * vmRate                       // demo VM
+	total += u.Hours * rates.K8sControlPlaneHour    // control plane
+	total += u.Hours * vmRate * float64(u.K8sNodes) // worker nodes
+	total += u.ServerlessRequests / 1e6 * rates.ServerlessPerMReq
+	total += u.ServerlessGBSec * rates.ServerlessGBSecond
+	total += u.NotebookHours * rates.NotebookGPUHour
+	total += u.RegistryGB * u.RegistryMonths * rates.RegistryGBMonth
+	return total, nil
+}
+
+// SelfManagedEquivalentCost prices running the same workload on plain
+// VMs (no control-plane fee, no serverless premium): the comparison the
+// lecture draws between IaaS skills and managed conveniences.
+func SelfManagedEquivalentCost(u ManagedDemoUsage, p Provider) (float64, error) {
+	vm, err := ProjectEquivalent(u.VMClass)
+	if err != nil {
+		return 0, err
+	}
+	vmRate := vm.Rate(p).PerHour
+	// Self-managed: demo VM + workers + one extra VM standing in for the
+	// control plane and the serverless endpoint, plus the notebook
+	// replaced by a GPU VM at the gpu-small rate.
+	gpu, err := ProjectEquivalent("gpu-small")
+	if err != nil {
+		return 0, err
+	}
+	total := u.Hours * vmRate * float64(u.K8sNodes+2)
+	total += u.NotebookHours * gpu.Rate(p).PerHour
+	return total, nil
+}

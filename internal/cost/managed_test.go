@@ -1,0 +1,63 @@
+package cost
+
+import "testing"
+
+func TestManagedDemoCostBothProviders(t *testing.T) {
+	u := DefaultUnit10Demo()
+	for _, p := range []Provider{AWS, GCP} {
+		c, err := ManagedDemoCost(u, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A 2-hour demo with education credits should cost single-digit
+		// dollars — the reason the paper wasn't worried about credit
+		// exhaustion for this optional lab.
+		if c < 0.5 || c > 10 {
+			t.Errorf("%s demo cost = $%.2f, want single digits", p, c)
+		}
+	}
+}
+
+func TestManagedVsSelfManaged(t *testing.T) {
+	u := DefaultUnit10Demo()
+	for _, p := range []Provider{AWS, GCP} {
+		m, err := ManagedDemoCost(u, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := SelfManagedEquivalentCost(u, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m <= 0 || s <= 0 {
+			t.Fatalf("%s costs: managed %v self %v", p, m, s)
+		}
+		// At demo scale the managed premium (control plane fee etc.)
+		// should be visible but bounded.
+		if m < s*0.5 || m > s*5 {
+			t.Errorf("%s managed $%.2f vs self-managed $%.2f out of expected band", p, m, s)
+		}
+	}
+}
+
+func TestManagedDemoCostScalesWithDuration(t *testing.T) {
+	u := DefaultUnit10Demo()
+	short, _ := ManagedDemoCost(u, AWS)
+	u.Hours = 4
+	u.NotebookHours = 4
+	long, _ := ManagedDemoCost(u, AWS)
+	if long <= short {
+		t.Errorf("4h demo ($%.2f) not costlier than 2h ($%.2f)", long, short)
+	}
+}
+
+func TestManagedDemoUnknownVMClass(t *testing.T) {
+	u := DefaultUnit10Demo()
+	u.VMClass = "quantum"
+	if _, err := ManagedDemoCost(u, AWS); err == nil {
+		t.Error("unknown VM class accepted")
+	}
+	if _, err := SelfManagedEquivalentCost(u, AWS); err == nil {
+		t.Error("unknown VM class accepted by self-managed")
+	}
+}

@@ -1,0 +1,103 @@
+package evaluate
+
+import "fmt"
+
+// Classifier is the model-under-test interface for behavioral suites: a
+// function from input string to predicted label.
+type Classifier func(input string) string
+
+// Check is one behavioral expectation applied to a model output.
+type Check struct {
+	Name string
+	// Input fed to the model.
+	Input string
+	// Expect validates the prediction; return an error describing the
+	// violation, nil when satisfied.
+	Expect func(pred string) error
+}
+
+// MinimumFunctionality builds a check asserting a clear-cut input maps to
+// an expected label (CheckList's MFT test type).
+func MinimumFunctionality(name, input, wantLabel string) Check {
+	return Check{
+		Name:  name,
+		Input: input,
+		Expect: func(pred string) error {
+			if pred != wantLabel {
+				return fmt.Errorf("predicted %q, want %q", pred, wantLabel)
+			}
+			return nil
+		},
+	}
+}
+
+// InvarianceGroup is a set of inputs that must all receive the same
+// prediction (the practical encoding of Invariance tests).
+type InvarianceGroup struct {
+	Name   string
+	Inputs []string
+}
+
+// Suite is a unified behavioral test suite: direct checks plus
+// invariance groups.
+type Suite struct {
+	Checks     []Check
+	Invariants []InvarianceGroup
+}
+
+// Failure describes one violated expectation.
+type Failure struct {
+	Check string
+	Err   error
+}
+
+// Report is the suite outcome.
+type Report struct {
+	Total    int
+	Passed   int
+	Failures []Failure
+}
+
+// PassRate returns passed/total (1.0 for an empty suite).
+func (r Report) PassRate() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Passed) / float64(r.Total)
+}
+
+// Run evaluates the model against every check and invariance group.
+func (s Suite) Run(model Classifier) Report {
+	var rep Report
+	for _, c := range s.Checks {
+		if c.Expect == nil {
+			continue
+		}
+		rep.Total++
+		if err := c.Expect(model(c.Input)); err != nil {
+			rep.Failures = append(rep.Failures, Failure{Check: c.Name, Err: err})
+			continue
+		}
+		rep.Passed++
+	}
+	for _, g := range s.Invariants {
+		if len(g.Inputs) == 0 {
+			continue
+		}
+		rep.Total++
+		base := model(g.Inputs[0])
+		violated := false
+		for _, in := range g.Inputs[1:] {
+			if got := model(in); got != base {
+				rep.Failures = append(rep.Failures,
+					Failure{Check: g.Name, Err: fmt.Errorf("input %q predicted %q, original %q predicted %q", in, got, g.Inputs[0], base)})
+				violated = true
+				break
+			}
+		}
+		if !violated {
+			rep.Passed++
+		}
+	}
+	return rep
+}

@@ -1,0 +1,206 @@
+// Package evaluate implements the offline-evaluation half of Unit 7:
+// general and domain-specific metrics (accuracy, per-class precision/
+// recall/F1, a BLEU-style n-gram overlap for text), evaluation across
+// population slices with fairness-gap reporting, and template-based
+// behavioral test suites in the CheckList style the lecture cites.
+package evaluate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrLengthMismatch reports prediction/label arrays of different sizes.
+var ErrLengthMismatch = errors.New("evaluate: predictions and labels differ in length")
+
+// Accuracy returns the fraction of exact matches.
+func Accuracy(yTrue, yPred []int) (float64, error) {
+	if len(yTrue) != len(yPred) {
+		return 0, ErrLengthMismatch
+	}
+	if len(yTrue) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for i := range yTrue {
+		if yTrue[i] == yPred[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(yTrue)), nil
+}
+
+// ConfusionMatrix returns counts[true][pred] for labels in [0, classes).
+func ConfusionMatrix(yTrue, yPred []int, classes int) ([][]int, error) {
+	if len(yTrue) != len(yPred) {
+		return nil, ErrLengthMismatch
+	}
+	m := make([][]int, classes)
+	for i := range m {
+		m[i] = make([]int, classes)
+	}
+	for i := range yTrue {
+		t, p := yTrue[i], yPred[i]
+		if t < 0 || t >= classes || p < 0 || p >= classes {
+			return nil, fmt.Errorf("evaluate: label out of range at %d: true=%d pred=%d", i, t, p)
+		}
+		m[t][p]++
+	}
+	return m, nil
+}
+
+// ClassMetrics is per-class precision/recall/F1.
+type ClassMetrics struct {
+	Class     int
+	Precision float64
+	Recall    float64
+	F1        float64
+	Support   int
+}
+
+// PerClassMetrics computes precision/recall/F1 per class from a confusion
+// matrix.
+func PerClassMetrics(cm [][]int) []ClassMetrics {
+	classes := len(cm)
+	out := make([]ClassMetrics, classes)
+	for c := 0; c < classes; c++ {
+		var tp, fp, fn int
+		tp = cm[c][c]
+		for o := 0; o < classes; o++ {
+			if o == c {
+				continue
+			}
+			fp += cm[o][c]
+			fn += cm[c][o]
+		}
+		m := ClassMetrics{Class: c, Support: tp + fn}
+		if tp+fp > 0 {
+			m.Precision = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			m.Recall = float64(tp) / float64(tp+fn)
+		}
+		if m.Precision+m.Recall > 0 {
+			m.F1 = 2 * m.Precision * m.Recall / (m.Precision + m.Recall)
+		}
+		out[c] = m
+	}
+	return out
+}
+
+// BLEU computes a smoothed corpus-free sentence BLEU up to maxN-grams
+// with brevity penalty — the domain-specific text metric from the
+// lecture's "beyond loss and accuracy" list.
+func BLEU(reference, candidate []string, maxN int) float64 {
+	if len(candidate) == 0 {
+		return 0
+	}
+	if maxN < 1 {
+		maxN = 4
+	}
+	logSum := 0.0
+	for n := 1; n <= maxN; n++ {
+		refCounts := ngramCounts(reference, n)
+		candCounts := ngramCounts(candidate, n)
+		var match, total int
+		for g, c := range candCounts {
+			total += c
+			if rc, ok := refCounts[g]; ok {
+				if c < rc {
+					match += c
+				} else {
+					match += rc
+				}
+			}
+		}
+		// Add-one smoothing keeps zero-match orders from nuking the score.
+		p := (float64(match) + 1) / (float64(total) + 1)
+		logSum += math.Log(p)
+	}
+	bleu := math.Exp(logSum / float64(maxN))
+	// Brevity penalty.
+	if len(candidate) < len(reference) {
+		bleu *= math.Exp(1 - float64(len(reference))/float64(len(candidate)))
+	}
+	return bleu
+}
+
+func ngramCounts(tokens []string, n int) map[string]int {
+	counts := map[string]int{}
+	for i := 0; i+n <= len(tokens); i++ {
+		counts[strings.Join(tokens[i:i+n], " ")]++
+	}
+	return counts
+}
+
+// Example is one evaluation record carrying slice features.
+type Example struct {
+	Features map[string]string // e.g. {"cuisine": "japanese", "lighting": "dim"}
+	True     int
+	Pred     int
+}
+
+// SliceReport is accuracy over one population slice.
+type SliceReport struct {
+	Feature  string
+	Value    string
+	N        int
+	Accuracy float64
+}
+
+// EvaluateSlices computes accuracy per (feature, value) slice, sorted by
+// feature, then value — surfacing the key-population analysis the lab
+// requires.
+func EvaluateSlices(examples []Example, feature string) []SliceReport {
+	type agg struct{ n, correct int }
+	buckets := map[string]*agg{}
+	for _, e := range examples {
+		v, ok := e.Features[feature]
+		if !ok {
+			continue
+		}
+		b := buckets[v]
+		if b == nil {
+			b = &agg{}
+			buckets[v] = b
+		}
+		b.n++
+		if e.True == e.Pred {
+			b.correct++
+		}
+	}
+	values := make([]string, 0, len(buckets))
+	for v := range buckets {
+		values = append(values, v)
+	}
+	sort.Strings(values)
+	out := make([]SliceReport, 0, len(values))
+	for _, v := range values {
+		b := buckets[v]
+		out = append(out, SliceReport{Feature: feature, Value: v, N: b.n,
+			Accuracy: float64(b.correct) / float64(b.n)})
+	}
+	return out
+}
+
+// FairnessGap returns the largest accuracy difference between any two
+// slices of a feature — the single-number bias check the lab reports.
+func FairnessGap(examples []Example, feature string) float64 {
+	slices := EvaluateSlices(examples, feature)
+	if len(slices) < 2 {
+		return 0
+	}
+	min, max := slices[0].Accuracy, slices[0].Accuracy
+	for _, s := range slices[1:] {
+		if s.Accuracy < min {
+			min = s.Accuracy
+		}
+		if s.Accuracy > max {
+			max = s.Accuracy
+		}
+	}
+	return max - min
+}

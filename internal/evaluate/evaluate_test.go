@@ -1,0 +1,197 @@
+package evaluate
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccuracy(t *testing.T) {
+	acc, err := Accuracy([]int{1, 2, 3, 4}, []int{1, 2, 0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 0.75 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if _, err := Accuracy([]int{1}, []int{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("mismatch err = %v", err)
+	}
+	if acc, _ := Accuracy(nil, nil); acc != 0 {
+		t.Errorf("empty accuracy = %v", acc)
+	}
+}
+
+func TestConfusionMatrixAndPerClass(t *testing.T) {
+	yTrue := []int{0, 0, 0, 1, 1, 2}
+	yPred := []int{0, 0, 1, 1, 1, 0}
+	cm, err := ConfusionMatrix(yTrue, yPred, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm[0][0] != 2 || cm[0][1] != 1 || cm[2][0] != 1 {
+		t.Errorf("cm = %v", cm)
+	}
+	m := PerClassMetrics(cm)
+	// Class 0: tp=2, fp=1 (from class 2), fn=1 → P=2/3, R=2/3.
+	if math.Abs(m[0].Precision-2.0/3) > 1e-12 || math.Abs(m[0].Recall-2.0/3) > 1e-12 {
+		t.Errorf("class 0 metrics: %+v", m[0])
+	}
+	// Class 1: tp=2, fp=1, fn=0 → P=2/3, R=1.
+	if m[1].Recall != 1 {
+		t.Errorf("class 1 recall = %v", m[1].Recall)
+	}
+	// Class 2: tp=0 → all zeros, support 1.
+	if m[2].F1 != 0 || m[2].Support != 1 {
+		t.Errorf("class 2: %+v", m[2])
+	}
+	if _, err := ConfusionMatrix([]int{5}, []int{0}, 3); err == nil {
+		t.Error("out-of-range label accepted")
+	}
+}
+
+func TestPerClassSumsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		yTrue := make([]int, n)
+		yPred := make([]int, n)
+		for i := 0; i < n; i++ {
+			yTrue[i] = int(raw[i] % 4)
+			yPred[i] = int(raw[n+i] % 4)
+		}
+		cm, err := ConfusionMatrix(yTrue, yPred, 4)
+		if err != nil {
+			return false
+		}
+		// Sum of supports equals sample count.
+		total := 0
+		for _, m := range PerClassMetrics(cm) {
+			total += m.Support
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBLEU(t *testing.T) {
+	ref := strings.Fields("the cat sat on the mat")
+	perfect := BLEU(ref, ref, 4)
+	if perfect < 0.99 {
+		t.Errorf("self-BLEU = %v", perfect)
+	}
+	close := BLEU(ref, strings.Fields("the cat sat on a mat"), 4)
+	far := BLEU(ref, strings.Fields("completely unrelated text here now"), 4)
+	if !(perfect > close && close > far) {
+		t.Errorf("BLEU ordering violated: %v %v %v", perfect, close, far)
+	}
+	if got := BLEU(ref, nil, 4); got != 0 {
+		t.Errorf("empty candidate BLEU = %v", got)
+	}
+	// Brevity penalty: a 2-token prefix scores below the full match.
+	short := BLEU(ref, ref[:2], 4)
+	if short >= perfect {
+		t.Errorf("brevity penalty missing: %v", short)
+	}
+}
+
+func TestSlicesAndFairnessGap(t *testing.T) {
+	var examples []Example
+	// "bright" slice: 9/10 correct; "dim" slice: 5/10 correct.
+	for i := 0; i < 10; i++ {
+		p := 0
+		if i == 0 {
+			p = 1
+		}
+		examples = append(examples, Example{Features: map[string]string{"lighting": "bright"}, True: 0, Pred: p})
+	}
+	for i := 0; i < 10; i++ {
+		p := 0
+		if i%2 == 0 {
+			p = 1
+		}
+		examples = append(examples, Example{Features: map[string]string{"lighting": "dim"}, True: 0, Pred: p})
+	}
+	slices := EvaluateSlices(examples, "lighting")
+	if len(slices) != 2 {
+		t.Fatalf("slices = %v", slices)
+	}
+	if slices[0].Value != "bright" || slices[0].Accuracy != 0.9 {
+		t.Errorf("bright slice: %+v", slices[0])
+	}
+	if slices[1].Value != "dim" || slices[1].Accuracy != 0.5 {
+		t.Errorf("dim slice: %+v", slices[1])
+	}
+	gap := FairnessGap(examples, "lighting")
+	if math.Abs(gap-0.4) > 1e-12 {
+		t.Errorf("fairness gap = %v, want 0.4", gap)
+	}
+	if FairnessGap(examples, "cuisine") != 0 {
+		t.Error("missing feature should give zero gap")
+	}
+}
+
+// toyModel classifies by keyword, case-sensitively — so it fails
+// capitalization invariance on purpose.
+func toyModel(input string) string {
+	switch {
+	case strings.Contains(input, "sushi"):
+		return "japanese"
+	case strings.Contains(input, "pizza"):
+		return "italian"
+	default:
+		return "unknown"
+	}
+}
+
+func TestBehavioralSuite(t *testing.T) {
+	suite := Suite{
+		Checks: []Check{
+			MinimumFunctionality("mft-sushi", "a photo of sushi rolls", "japanese"),
+			MinimumFunctionality("mft-pizza", "pizza with extra cheese", "italian"),
+			MinimumFunctionality("mft-wrong", "pizza again", "japanese"), // will fail
+		},
+		Invariants: []InvarianceGroup{
+			{Name: "inv-case", Inputs: []string{"sushi plate", "SUSHI plate"}},   // fails: case-sensitive
+			{Name: "inv-rephrase", Inputs: []string{"some pizza", "more pizza"}}, // passes
+		},
+	}
+	rep := suite.Run(toyModel)
+	if rep.Total != 5 {
+		t.Fatalf("total = %d, want 5", rep.Total)
+	}
+	if rep.Passed != 3 {
+		t.Errorf("passed = %d, want 3; failures: %v", rep.Passed, rep.Failures)
+	}
+	if rep.PassRate() != 0.6 {
+		t.Errorf("pass rate = %v", rep.PassRate())
+	}
+	names := map[string]bool{}
+	for _, f := range rep.Failures {
+		names[f.Check] = true
+	}
+	if !names["mft-wrong"] || !names["inv-case"] {
+		t.Errorf("unexpected failure set: %v", rep.Failures)
+	}
+}
+
+func TestEmptySuite(t *testing.T) {
+	rep := Suite{}.Run(toyModel)
+	if rep.PassRate() != 1 || rep.Total != 0 {
+		t.Errorf("empty suite: %+v", rep)
+	}
+}
+
+func BenchmarkBLEU(b *testing.B) {
+	ref := strings.Fields("the quick brown fox jumps over the lazy dog near the river bank")
+	cand := strings.Fields("a quick brown fox jumped over a lazy dog by the river")
+	for i := 0; i < b.N; i++ {
+		BLEU(ref, cand, 4)
+	}
+}

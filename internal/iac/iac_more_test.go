@@ -1,0 +1,165 @@
+package iac
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestMustAddPanicsOnDuplicate(t *testing.T) {
+	m := NewModule()
+	m.MustAdd(Resource{Type: "a", Name: "x"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.MustAdd(Resource{Type: "a", Name: "x"})
+}
+
+func TestActionKindStrings(t *testing.T) {
+	for k, want := range map[ActionKind]string{
+		ActionCreate: "create", ActionUpdate: "update",
+		ActionDelete: "delete", ActionNoop: "noop",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q", int(k), k.String())
+		}
+	}
+	if ActionKind(9).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}
+
+// failingProvider fails creation of a configured address, to exercise
+// partial application.
+type failingProvider struct {
+	memProvider
+	failOn string
+}
+
+func (f *failingProvider) Create(r Resource, s *State) (string, error) {
+	if r.Address() == f.failOn {
+		return "", fmt.Errorf("provider quota exceeded")
+	}
+	return f.memProvider.Create(r, s)
+}
+
+func TestApplyPartialFailureKeepsCompletedState(t *testing.T) {
+	m := NewModule()
+	m.MustAdd(Resource{Type: "a", Name: "first"})
+	m.MustAdd(Resource{Type: "a", Name: "second", DependsOn: []string{"a.first"}})
+	m.MustAdd(Resource{Type: "a", Name: "third", DependsOn: []string{"a.second"}})
+	p := &failingProvider{memProvider: *newMemProvider(), failOn: "a.second"}
+	s := NewState()
+	plan, err := PlanChanges(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Apply(plan, p, s); err == nil {
+		t.Fatal("expected apply failure")
+	}
+	// The first resource is recorded; the failed and downstream ones are
+	// not — so a re-plan creates exactly the missing two.
+	if _, ok := s.Get("a.first"); !ok {
+		t.Error("completed resource missing from state")
+	}
+	if _, ok := s.Get("a.second"); ok {
+		t.Error("failed resource recorded in state")
+	}
+	p.failOn = "" // provider recovers
+	plan2, err := PlanChanges(m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _, _ := plan2.Summary()
+	if c != 2 {
+		t.Errorf("re-plan creates = %d, want 2", c)
+	}
+	if err := Apply(plan2, p, s); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Addresses()) != 3 {
+		t.Errorf("state size = %d", len(s.Addresses()))
+	}
+}
+
+// stubbornProvider refuses all deletes, to exercise Destroy's
+// no-progress error.
+type stubbornProvider struct{ memProvider }
+
+func (s *stubbornProvider) Delete(Resource, string, *State) error {
+	return errors.New("still attached")
+}
+
+func TestDestroyNoProgress(t *testing.T) {
+	m := NewModule()
+	m.MustAdd(Resource{Type: "a", Name: "x"})
+	p := &stubbornProvider{memProvider: *newMemProvider()}
+	s := NewState()
+	plan, _ := PlanChanges(m, s)
+	if err := Apply(plan, p, s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Destroy(p, s); err == nil {
+		t.Fatal("expected destroy to report no progress")
+	}
+	if len(s.Addresses()) != 1 {
+		t.Error("state lost entries despite failed destroy")
+	}
+}
+
+func TestCloudProviderUnknownType(t *testing.T) {
+	p, _, _ := newProvider()
+	if _, err := p.Create(Resource{Type: "dns_zone", Name: "x"}, NewState()); err == nil {
+		t.Error("unknown resource type accepted")
+	}
+	// Unknown flavors error too.
+	if _, err := p.Create(Resource{Type: "instance", Name: "x",
+		Attrs: map[string]string{"flavor": "m9.huge"}}, NewState()); err == nil {
+		t.Error("unknown flavor accepted")
+	}
+	// Dangling reference.
+	if _, err := p.Create(Resource{Type: "instance", Name: "x",
+		Attrs: map[string]string{"flavor": "m1.small", "network": "network.ghost"}}, NewState()); !errors.Is(err, ErrUnknown) {
+		t.Errorf("dangling network ref err = %v", err)
+	}
+	if _, err := p.Create(Resource{Type: "floating_ip", Name: "f",
+		Attrs: map[string]string{"instance": "instance.ghost"}}, NewState()); !errors.Is(err, ErrUnknown) {
+		t.Errorf("dangling instance ref err = %v", err)
+	}
+	// Deleting unknown types is a no-op; reading them reports existence.
+	if err := p.Delete(Resource{Type: "network", Name: "n"}, "id", nil); err != nil {
+		t.Errorf("network delete err = %v", err)
+	}
+	if ok, err := p.Read(Resource{Type: "network", Name: "n"}, "id"); !ok || err != nil {
+		t.Errorf("network read = %v, %v", ok, err)
+	}
+}
+
+func TestPlaybookFileAndServiceChecks(t *testing.T) {
+	h := NewHost("n")
+	fc := FileContent("/etc/x", "v1")
+	if fc.Check(h) {
+		t.Error("missing file reported present")
+	}
+	if err := fc.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	if !fc.Check(h) {
+		t.Error("file not converged")
+	}
+	// Content change re-triggers.
+	fc2 := FileContent("/etc/x", "v2")
+	if fc2.Check(h) {
+		t.Error("stale content passed check")
+	}
+	// Service without prerequisite works when requiresPackage empty.
+	sr := ServiceRunning("adhoc", "")
+	if err := sr.Apply(h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Services["adhoc"] {
+		t.Error("service not started")
+	}
+}

@@ -1,0 +1,133 @@
+package iac
+
+import "fmt"
+
+// HostState is the configuration surface an Ansible-style playbook
+// manages on one machine: installed packages, running services, and
+// written files. The Unit-3 lab uses this to "install Kubernetes and
+// supporting tools" on freshly provisioned VMs.
+type HostState struct {
+	Name     string
+	Packages map[string]bool
+	Services map[string]bool
+	Files    map[string]string
+	Facts    map[string]string
+}
+
+// NewHost returns an empty host.
+func NewHost(name string) *HostState {
+	return &HostState{
+		Name:     name,
+		Packages: map[string]bool{},
+		Services: map[string]bool{},
+		Files:    map[string]string{},
+		Facts:    map[string]string{},
+	}
+}
+
+// Task is one idempotent configuration step: Check reports whether the
+// host already satisfies it; Apply converges the host. A task whose
+// Check passes is reported "ok" and skipped, which is what makes a
+// playbook safe to re-run.
+type Task struct {
+	Name  string
+	Check func(h *HostState) bool
+	Apply func(h *HostState) error
+}
+
+// Package returns a task ensuring a package is installed.
+func Package(name string) Task {
+	return Task{
+		Name:  "package " + name,
+		Check: func(h *HostState) bool { return h.Packages[name] },
+		Apply: func(h *HostState) error { h.Packages[name] = true; return nil },
+	}
+}
+
+// ServiceRunning returns a task ensuring a service is started. It fails
+// if the named package is not installed first — ordering matters, like
+// the real tool.
+func ServiceRunning(name, requiresPackage string) Task {
+	return Task{
+		Name:  "service " + name,
+		Check: func(h *HostState) bool { return h.Services[name] },
+		Apply: func(h *HostState) error {
+			if requiresPackage != "" && !h.Packages[requiresPackage] {
+				return fmt.Errorf("iac: service %s requires package %s", name, requiresPackage)
+			}
+			h.Services[name] = true
+			return nil
+		},
+	}
+}
+
+// FileContent returns a task ensuring a file holds exact content.
+func FileContent(path, content string) Task {
+	return Task{
+		Name:  "file " + path,
+		Check: func(h *HostState) bool { return h.Files[path] == content },
+		Apply: func(h *HostState) error { h.Files[path] = content; return nil },
+	}
+}
+
+// Playbook is an ordered task list applied to a set of hosts.
+type Playbook struct {
+	Name  string
+	Tasks []Task
+}
+
+// RunReport summarizes one playbook run, Ansible-recap style.
+type RunReport struct {
+	OK      int // already satisfied
+	Changed int // applied
+	Failed  int
+	// PerHost maps host name to "ok=x changed=y failed=z".
+	PerHost map[string]string
+}
+
+// Run applies the playbook to every host in order. Host execution
+// continues past per-host failures (other hosts still converge), and the
+// first error is returned alongside the report.
+func (p Playbook) Run(hosts []*HostState) (RunReport, error) {
+	report := RunReport{PerHost: map[string]string{}}
+	var firstErr error
+	for _, h := range hosts {
+		ok, changed, failed := 0, 0, 0
+		for _, t := range p.Tasks {
+			if t.Check != nil && t.Check(h) {
+				ok++
+				continue
+			}
+			if err := t.Apply(h); err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("iac: playbook %q task %q on %s: %w", p.Name, t.Name, h.Name, err)
+				}
+				break // remaining tasks on this host are skipped
+			}
+			changed++
+		}
+		report.OK += ok
+		report.Changed += changed
+		report.Failed += failed
+		report.PerHost[h.Name] = fmt.Sprintf("ok=%d changed=%d failed=%d", ok, changed, failed)
+	}
+	return report, firstErr
+}
+
+// KubesprayPlaybook returns the playbook the Unit-3 lab runs: container
+// runtime, kubeadm/kubelet, cluster services — enough structure to
+// exercise idempotency and ordering semantics.
+func KubesprayPlaybook() Playbook {
+	return Playbook{
+		Name: "kubespray",
+		Tasks: []Task{
+			Package("containerd"),
+			Package("kubeadm"),
+			Package("kubelet"),
+			FileContent("/etc/kubernetes/kubelet.conf", "clusterDNS: 10.96.0.10"),
+			ServiceRunning("containerd", "containerd"),
+			ServiceRunning("kubelet", "kubelet"),
+		},
+	}
+}

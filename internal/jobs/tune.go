@@ -1,0 +1,173 @@
+package jobs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// TrialResult records one hyperparameter configuration's outcome.
+type TrialResult struct {
+	Config map[string]float64
+	Score  float64
+	Err    error
+	// Pruned marks trials stopped early by the scheduler.
+	Pruned bool
+	// Steps is how many reporting steps the trial completed.
+	Steps int
+}
+
+// Objective evaluates a configuration, reporting an intermediate score at
+// each step via report; if report returns false the trial must stop and
+// return its best score so far (cooperative pruning, as in Ray Tune).
+type Objective func(cfg map[string]float64, report func(step int, score float64) bool) (float64, error)
+
+// GridSpec enumerates explicit values per hyperparameter.
+type GridSpec map[string][]float64
+
+// Configs expands the grid in deterministic (sorted-key, row-major) order.
+func (g GridSpec) Configs() []map[string]float64 {
+	keys := make([]string, 0, len(g))
+	for k := range g {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	configs := []map[string]float64{{}}
+	for _, k := range keys {
+		var next []map[string]float64
+		for _, base := range configs {
+			for _, v := range g[k] {
+				cfg := make(map[string]float64, len(base)+1)
+				for bk, bv := range base {
+					cfg[bk] = bv
+				}
+				cfg[k] = v
+				next = append(next, cfg)
+			}
+		}
+		configs = next
+	}
+	return configs
+}
+
+// SampleSpec draws each hyperparameter from a distribution.
+type SampleSpec map[string]func(rng *stats.RNG) float64
+
+// Sample draws n configurations deterministically from rng.
+func (s SampleSpec) Sample(n int, rng *stats.RNG) []map[string]float64 {
+	keys := make([]string, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]map[string]float64, n)
+	for i := range out {
+		cfg := map[string]float64{}
+		for _, k := range keys {
+			cfg[k] = s[k](rng)
+		}
+		out[i] = cfg
+	}
+	return out
+}
+
+// Tuner runs hyperparameter trials on a pool with optional median-stopping.
+type Tuner struct {
+	Pool *Pool
+	// Maximize selects the optimization direction.
+	Maximize bool
+	// MedianStopping prunes a trial whose reported score at step s falls
+	// on the wrong side of the median of all other trials' scores at the
+	// same step, once at least MinTrialsForMedian trials have reported
+	// that step and s >= GracePeriod.
+	MedianStopping     bool
+	GracePeriod        int
+	MinTrialsForMedian int
+}
+
+// medianRecorder aggregates reported scores per step across trials.
+type medianRecorder struct {
+	mu     sync.Mutex
+	scores map[int][]float64
+}
+
+func (m *medianRecorder) record(step int, score float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.scores[step] = append(m.scores[step], score)
+}
+
+func (m *medianRecorder) median(step int) (float64, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	xs := m.scores[step]
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return stats.Percentile(sorted, 50), len(xs)
+}
+
+// Run evaluates every configuration and returns results in input order
+// plus the index of the best non-failed trial (-1 if all failed).
+func (t *Tuner) Run(configs []map[string]float64, objective Objective) ([]TrialResult, int, error) {
+	rec := &medianRecorder{scores: map[int][]float64{}}
+	results := make([]TrialResult, len(configs))
+	tasks := make([]Task, len(configs))
+	for i, cfg := range configs {
+		i, cfg := i, cfg
+		tasks[i] = func() (float64, error) {
+			pruned := false
+			steps := 0
+			report := func(step int, score float64) bool {
+				steps = step + 1
+				rec.record(step, score)
+				if !t.MedianStopping || step < t.GracePeriod {
+					return true
+				}
+				med, n := rec.median(step)
+				if n < t.MinTrialsForMedian {
+					return true
+				}
+				bad := score < med
+				if !t.Maximize {
+					bad = score > med
+				}
+				if bad {
+					pruned = true
+					return false
+				}
+				return true
+			}
+			score, err := objective(cfg, report)
+			results[i].Pruned = pruned
+			results[i].Steps = steps
+			return score, err
+		}
+	}
+	raw, err := t.Pool.Map(tasks)
+	if err != nil {
+		return nil, -1, err
+	}
+	best := -1
+	for i, r := range raw {
+		results[i].Config = configs[i]
+		results[i].Score = r.Value
+		results[i].Err = r.Err
+		if r.Err != nil {
+			continue
+		}
+		if best == -1 ||
+			(t.Maximize && results[i].Score > results[best].Score) ||
+			(!t.Maximize && results[i].Score < results[best].Score) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return results, -1, fmt.Errorf("jobs: all %d trials failed", len(configs))
+	}
+	return results, best, nil
+}

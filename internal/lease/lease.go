@@ -1,0 +1,399 @@
+// Package lease implements the Blazar-style advance-reservation service
+// that Chameleon uses for bare-metal and edge nodes. Reservations are the
+// reason the paper's Fig. 1b actuals track expected durations: leased
+// instances terminate automatically when the reservation ends, unlike
+// on-demand VMs which persist until a student remembers to delete them.
+//
+// The course workflow modeled here (Section 4 of the paper): course staff
+// reserve specific GPU node types for week-long blocks aligned with the
+// schedule; students then book short (2–3 hour) slots on those nodes
+// without contending with other testbed users.
+package lease
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cloud"
+	"repro/internal/simclock"
+)
+
+// Errors returned by the service.
+var (
+	ErrNoPool      = errors.New("lease: no pool for node type")
+	ErrNoNodeFree  = errors.New("lease: no node free in the requested window")
+	ErrNotFound    = errors.New("lease: reservation not found")
+	ErrBadWindow   = errors.New("lease: reservation end must be after start")
+	ErrOutsideHold = errors.New("lease: window not inside any staff hold")
+)
+
+// Reservation is a booked window on one node. When the service has a
+// cloud attached, an instance is launched at Start and force-deleted at
+// End (automatic termination).
+type Reservation struct {
+	ID       string
+	Project  string
+	User     string
+	NodeType string
+	Node     string
+	Start    float64
+	End      float64
+	Tags     map[string]string
+
+	// InstanceID is set once the reservation activates with a cloud
+	// attached.
+	InstanceID string
+	Cancelled  bool
+}
+
+// Hours returns the booked duration.
+func (r *Reservation) Hours() float64 { return r.End - r.Start }
+
+// overlaps reports whether [s1,e1) and [s2,e2) intersect.
+func overlaps(s1, e1, s2, e2 float64) bool { return s1 < e2 && s2 < e1 }
+
+// pool tracks the reservable nodes of one type and their bookings.
+type pool struct {
+	flavor cloud.Flavor
+	nodes  []string
+	// byNode holds reservations per node, kept sorted by start.
+	byNode map[string][]*Reservation
+	// holds are staff blocks restricting access; if non-empty, student
+	// bookings must fall entirely inside one hold.
+	holds []window
+}
+
+type window struct{ start, end float64 }
+
+// Service is the reservation API for one site.
+type Service struct {
+	mu     sync.Mutex
+	clock  *simclock.Clock
+	cloud  *cloud.Cloud // optional: enables auto launch/terminate
+	pools  map[string]*pool
+	all    map[string]*Reservation
+	nextID int
+}
+
+// New returns a lease service. cl may be nil; then reservations are
+// calendar-only (no instance lifecycle side effects).
+func New(clock *simclock.Clock, cl *cloud.Cloud) *Service {
+	return &Service{clock: clock, cloud: cl,
+		pools: map[string]*pool{}, all: map[string]*Reservation{}}
+}
+
+// AddPool registers n reservable nodes of the given type. When a cloud is
+// attached, matching bare-metal hosts are registered there too so leased
+// instances have somewhere to land.
+func (s *Service) AddPool(flavor cloud.Flavor, n int) {
+	s.mu.Lock()
+	p := &pool{flavor: flavor, byNode: map[string][]*Reservation{}}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s-%02d", flavor.Name, i)
+		p.nodes = append(p.nodes, name)
+	}
+	s.pools[flavor.Name] = p
+	s.mu.Unlock()
+	if s.cloud != nil {
+		s.cloud.AddBareMetal(n, flavor)
+	}
+}
+
+// AddStaffHold records a staff block [start, end) on a node type during
+// which students may book; outside holds, booking on that type fails.
+// This mirrors the paper's arrangement where Chameleon staff temporarily
+// restricted GPU nodes to the course project for week-long windows.
+func (s *Service) AddStaffHold(nodeType string, start, end float64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[nodeType]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoPool, nodeType)
+	}
+	p.holds = append(p.holds, window{start, end})
+	return nil
+}
+
+// Spec describes a booking request.
+type Spec struct {
+	Project  string
+	User     string
+	NodeType string
+	Start    float64
+	End      float64
+	Tags     map[string]string
+}
+
+// Book reserves any free node of the requested type for [Start, End).
+// If the pool has staff holds, the window must fall inside one.
+func (s *Service) Book(spec Spec) (*Reservation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bookLocked(spec)
+}
+
+func (s *Service) bookLocked(spec Spec) (*Reservation, error) {
+	if spec.End <= spec.Start {
+		return nil, ErrBadWindow
+	}
+	p, ok := s.pools[spec.NodeType]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoPool, spec.NodeType)
+	}
+	if len(p.holds) > 0 && !insideAnyHold(p.holds, spec.Start, spec.End) {
+		return nil, fmt.Errorf("%w: [%.1f, %.1f) on %s", ErrOutsideHold, spec.Start, spec.End, spec.NodeType)
+	}
+	node := ""
+	for _, n := range p.nodes {
+		if nodeFree(p.byNode[n], spec.Start, spec.End) {
+			node = n
+			break
+		}
+	}
+	if node == "" {
+		return nil, fmt.Errorf("%w: %s [%.1f, %.1f)", ErrNoNodeFree, spec.NodeType, spec.Start, spec.End)
+	}
+	s.nextID++
+	r := &Reservation{
+		ID:      fmt.Sprintf("lease-%06d", s.nextID),
+		Project: spec.Project, User: spec.User,
+		NodeType: spec.NodeType, Node: node,
+		Start: spec.Start, End: spec.End,
+		Tags: spec.Tags,
+	}
+	p.byNode[node] = insertSorted(p.byNode[node], r)
+	s.all[r.ID] = r
+	s.scheduleLifecycleLocked(r)
+	return r, nil
+}
+
+// scheduleLifecycleLocked arms the launch/terminate events when a cloud
+// is attached.
+func (s *Service) scheduleLifecycleLocked(r *Reservation) {
+	if s.cloud == nil {
+		return
+	}
+	var start func(retries int)
+	start = func(retries int) {
+		s.mu.Lock()
+		cancelled := r.Cancelled
+		s.mu.Unlock()
+		if cancelled {
+			return
+		}
+		inst, err := s.cloud.Launch(cloud.LaunchSpec{
+			Project: r.Project,
+			Name:    fmt.Sprintf("%s-%s", r.User, r.NodeType),
+			Flavor:  mustFlavor(r.NodeType),
+			Tags:    r.Tags,
+		})
+		if errors.Is(err, cloud.ErrNoCapacity) && retries > 0 {
+			// Back-to-back reservations share a boundary instant: the
+			// predecessor's auto-delete event is queued at the same
+			// virtual time but may not have run yet. Requeue at the same
+			// timestamp; the delete (already enqueued) runs first.
+			s.clock.At(s.clock.Now(), "lease.retry "+r.ID, func() { start(retries - 1) })
+			return
+		}
+		if err != nil {
+			// Pool accounting guarantees capacity; a persistent failure
+			// here is a simulation bug, so surface it loudly.
+			panic(fmt.Sprintf("lease: launch for %s failed: %v", r.ID, err))
+		}
+		s.mu.Lock()
+		r.InstanceID = inst.ID
+		s.mu.Unlock()
+		// Automatic termination at reservation end: the defining
+		// difference from on-demand instances.
+		s.cloud.DeleteAt(inst.ID, r.End)
+	}
+	s.clock.At(r.Start, "lease.start "+r.ID, func() { start(8) })
+}
+
+func mustFlavor(name string) cloud.Flavor {
+	f, err := cloud.FlavorByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Cancel withdraws a reservation. Cancelling after activation deletes the
+// backing instance immediately.
+func (s *Service) Cancel(id string) error {
+	s.mu.Lock()
+	r, ok := s.all[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	r.Cancelled = true
+	p := s.pools[r.NodeType]
+	list := p.byNode[r.Node]
+	for i, x := range list {
+		if x.ID == id {
+			p.byNode[r.Node] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	delete(s.all, id)
+	instID := r.InstanceID
+	s.mu.Unlock()
+	if instID != "" && s.cloud != nil {
+		_ = s.cloud.Delete(instID)
+	}
+	return nil
+}
+
+// Get returns a reservation by ID.
+func (s *Service) Get(id string) (*Reservation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.all[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return r, nil
+}
+
+// FindSlot returns the earliest start >= earliest at which some node of
+// nodeType is free for duration hours (and, if holds exist, the window
+// fits in a hold). It returns an error if no slot exists before horizon.
+func (s *Service) FindSlot(nodeType string, earliest, duration, horizon float64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[nodeType]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoPool, nodeType)
+	}
+	// Candidate start times: earliest itself, every reservation end, and
+	// every hold start after earliest.
+	cands := []float64{earliest}
+	for _, list := range p.byNode {
+		for _, r := range list {
+			if r.End >= earliest {
+				cands = append(cands, r.End)
+			}
+		}
+	}
+	for _, h := range p.holds {
+		if h.start >= earliest {
+			cands = append(cands, h.start)
+		}
+	}
+	sort.Float64s(cands)
+	for _, start := range cands {
+		if start < earliest || start+duration > horizon {
+			continue
+		}
+		if len(p.holds) > 0 && !insideAnyHold(p.holds, start, start+duration) {
+			continue
+		}
+		for _, n := range p.nodes {
+			if nodeFree(p.byNode[n], start, start+duration) {
+				return start, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("%w: %s for %.1fh before %.1f", ErrNoNodeFree, nodeType, duration, horizon)
+}
+
+// BookEarliest finds the earliest feasible slot and books it, a common
+// studentsim operation.
+func (s *Service) BookEarliest(spec Spec, duration, horizon float64) (*Reservation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[spec.NodeType]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoPool, spec.NodeType)
+	}
+	_ = p
+	s.mu.Unlock()
+	start, err := s.FindSlot(spec.NodeType, spec.Start, duration, horizon)
+	s.mu.Lock()
+	if err != nil {
+		return nil, err
+	}
+	spec.Start = start
+	spec.End = start + duration
+	return s.bookLocked(spec)
+}
+
+// Utilization returns booked-hours / (nodes × window-hours) for a node
+// type over [start, end).
+func (s *Service) Utilization(nodeType string, start, end float64) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[nodeType]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoPool, nodeType)
+	}
+	if end <= start || len(p.nodes) == 0 {
+		return 0, nil
+	}
+	var booked float64
+	for _, list := range p.byNode {
+		for _, r := range list {
+			lo, hi := r.Start, r.End
+			if lo < start {
+				lo = start
+			}
+			if hi > end {
+				hi = end
+			}
+			if hi > lo {
+				booked += hi - lo
+			}
+		}
+	}
+	return booked / (float64(len(p.nodes)) * (end - start)), nil
+}
+
+// Reservations returns all bookings for a node type, sorted by start.
+func (s *Service) Reservations(nodeType string) []*Reservation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.pools[nodeType]
+	if !ok {
+		return nil
+	}
+	var out []*Reservation
+	for _, list := range p.byNode {
+		out = append(out, list...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func nodeFree(list []*Reservation, start, end float64) bool {
+	for _, r := range list {
+		if overlaps(start, end, r.Start, r.End) {
+			return false
+		}
+	}
+	return true
+}
+
+func insideAnyHold(holds []window, start, end float64) bool {
+	for _, h := range holds {
+		if start >= h.start && end <= h.end {
+			return true
+		}
+	}
+	return false
+}
+
+func insertSorted(list []*Reservation, r *Reservation) []*Reservation {
+	i := sort.Search(len(list), func(i int) bool { return list[i].Start >= r.Start })
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = r
+	return list
+}

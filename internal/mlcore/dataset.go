@@ -1,0 +1,118 @@
+// Package mlcore is a small but real machine-learning core: synthetic
+// classification datasets, a softmax (multinomial logistic) classifier,
+// minibatch SGD, and data-parallel training whose gradient aggregation
+// runs through the real ring all-reduce in internal/collective.
+//
+// The paper's course trains real models on real GPUs; the reproduction's
+// substitution is this CPU-scale stack, which exercises the same code
+// paths the labs teach — sharded data loading, local gradient
+// computation, collective aggregation, identical-replica invariants,
+// experiment tracking, and evaluation — at laptop scale with exact,
+// testable semantics.
+package mlcore
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Dataset is a dense classification dataset.
+type Dataset struct {
+	// X is row-major: X[i] is example i's feature vector.
+	X [][]float64
+	// Y holds class labels in [0, Classes).
+	Y       []int
+	Classes int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Features returns the feature dimensionality (0 for empty datasets).
+func (d *Dataset) Features() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Blobs generates n examples from `classes` Gaussian blobs in `features`
+// dimensions. Class centers sit on scaled coordinate directions, spread
+// controls intra-class noise; smaller spread = more separable. The
+// course's food-classification stand-in.
+func Blobs(n, features, classes int, spread float64, rng *stats.RNG) *Dataset {
+	if features < 1 || classes < 2 || n < classes {
+		panic(fmt.Sprintf("mlcore: bad blob shape n=%d features=%d classes=%d", n, features, classes))
+	}
+	centers := make([][]float64, classes)
+	for c := range centers {
+		centers[c] = make([]float64, features)
+		// Deterministic well-separated centers.
+		centers[c][c%features] = 3 * float64(1+c/features)
+		if c%2 == 1 {
+			centers[c][c%features] *= -1
+		}
+	}
+	d := &Dataset{Classes: classes}
+	for i := 0; i < n; i++ {
+		c := i % classes
+		x := make([]float64, features)
+		for j := range x {
+			x[j] = centers[c][j] + rng.Normal()*spread
+		}
+		d.X = append(d.X, x)
+		d.Y = append(d.Y, c)
+	}
+	// Shuffle examples so shards are class-balanced on average.
+	rng.Shuffle(n, func(i, j int) {
+		d.X[i], d.X[j] = d.X[j], d.X[i]
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+	return d
+}
+
+// Split partitions the dataset into train/test by fraction (copy-free
+// slicing; callers must not mutate).
+func (d *Dataset) Split(trainFrac float64) (train, test *Dataset) {
+	k := int(trainFrac * float64(d.Len()))
+	if k < 1 {
+		k = 1
+	}
+	if k >= d.Len() {
+		k = d.Len() - 1
+	}
+	train = &Dataset{X: d.X[:k], Y: d.Y[:k], Classes: d.Classes}
+	test = &Dataset{X: d.X[k:], Y: d.Y[k:], Classes: d.Classes}
+	return train, test
+}
+
+// Shard splits the dataset into `workers` contiguous, near-equal parts —
+// the data-parallel loader.
+func (d *Dataset) Shard(workers int) []*Dataset {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*Dataset, workers)
+	n := d.Len()
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		out[w] = &Dataset{X: d.X[lo:hi], Y: d.Y[lo:hi], Classes: d.Classes}
+	}
+	return out
+}
+
+// Drifted returns a copy of the dataset with every feature shifted by
+// delta — the input-distribution drift the monitoring lab detects.
+func (d *Dataset) Drifted(delta float64) *Dataset {
+	out := &Dataset{Classes: d.Classes, Y: append([]int(nil), d.Y...)}
+	for _, x := range d.X {
+		nx := make([]float64, len(x))
+		for j := range x {
+			nx[j] = x[j] + delta
+		}
+		out.X = append(out.X, nx)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package mlcore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func blobs(t *testing.T, n int, seed uint64) (*Dataset, *Dataset) {
+	t.Helper()
+	d := Blobs(n, 6, 3, 0.6, stats.NewRNG(seed))
+	return d.Split(0.8)
+}
+
+func TestSingleWorkerConverges(t *testing.T) {
+	train, test := blobs(t, 1200, 1)
+	m := NewSoftmaxClassifier(train.Features(), train.Classes)
+	hist, err := Train(m, train, TrainConfig{Epochs: 10, BatchSize: 32, LR: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[len(hist)-1].Loss >= hist[0].Loss {
+		t.Errorf("loss did not decrease: %v -> %v", hist[0].Loss, hist[len(hist)-1].Loss)
+	}
+	if acc := m.Accuracy(test); acc < 0.95 {
+		t.Errorf("test accuracy = %.3f, want > 0.95 on separable blobs", acc)
+	}
+}
+
+func TestZeroModelPredictsUniformly(t *testing.T) {
+	m := NewSoftmaxClassifier(4, 3)
+	p := m.PredictProba([]float64{1, 2, 3, 4})
+	for _, v := range p {
+		if math.Abs(v-1.0/3) > 1e-12 {
+			t.Fatalf("zero model proba = %v", p)
+		}
+	}
+}
+
+func TestGradientMatchesFiniteDifference(t *testing.T) {
+	rng := stats.NewRNG(5)
+	d := Blobs(30, 4, 3, 1.0, rng)
+	m := NewSoftmaxClassifier(4, 3)
+	// Randomize params so the gradient is non-trivial.
+	for c := range m.W {
+		for j := range m.W[c] {
+			m.W[c][j] = rng.Uniform(-0.5, 0.5)
+		}
+		m.B[c] = rng.Uniform(-0.5, 0.5)
+	}
+	grad := make([]float64, m.ParamCount())
+	if _, err := m.LossAndGrad(d, 0, d.Len(), grad); err != nil {
+		t.Fatal(err)
+	}
+	// Check a sample of coordinates against central differences.
+	const eps = 1e-6
+	lossAt := func() float64 {
+		g := make([]float64, m.ParamCount())
+		l, err := m.LossAndGrad(d, 0, d.Len(), g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	checkCoord := func(set func(delta float64), idx int) {
+		set(eps)
+		up := lossAt()
+		set(-2 * eps)
+		down := lossAt()
+		set(eps) // restore
+		fd := (up - down) / (2 * eps)
+		if math.Abs(fd-grad[idx]) > 1e-4 {
+			t.Errorf("grad[%d] = %v, finite difference = %v", idx, grad[idx], fd)
+		}
+	}
+	checkCoord(func(d float64) { m.W[1][2] += d }, 1*4+2)
+	checkCoord(func(d float64) { m.W[2][0] += d }, 2*4+0)
+	checkCoord(func(d float64) { m.B[0] += d }, 3*4+0)
+}
+
+func TestDDPMatchesSingleWorkerExactly(t *testing.T) {
+	// With batch size equal to shard size and the LR scaled to account
+	// for gradient averaging, 1-worker full-batch SGD and 4-worker DDP
+	// produce identical parameters: the sum of per-shard gradients over
+	// equal shards equals the full-batch gradient.
+	rng := stats.NewRNG(7)
+	d := Blobs(400, 5, 4, 0.8, rng) // 400 divides by 4: equal shards
+	single := NewSoftmaxClassifier(5, 4)
+	ddp := NewSoftmaxClassifier(5, 4)
+
+	// Full-batch single: batch = 400.
+	if _, err := Train(single, d, TrainConfig{Epochs: 3, BatchSize: 400, LR: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	// DDP: 4 workers, batch = shard size 100. Averaged DDP gradient over
+	// equal shards = full-batch gradient, so the same LR applies.
+	if _, err := Train(ddp, d, TrainConfig{Epochs: 3, BatchSize: 100, LR: 0.1, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !single.Equal(ddp, 1e-9) {
+		t.Error("DDP parameters diverge from single-worker full-batch SGD")
+	}
+}
+
+func TestDDPConvergesAndMatchesAccuracy(t *testing.T) {
+	train, test := blobs(t, 1600, 11)
+	m := NewSoftmaxClassifier(train.Features(), train.Classes)
+	if _, err := Train(m, train, TrainConfig{Epochs: 8, BatchSize: 32, LR: 0.2, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(test); acc < 0.95 {
+		t.Errorf("DDP test accuracy = %.3f", acc)
+	}
+}
+
+func TestShardCoversAll(t *testing.T) {
+	f := func(rawN uint8, rawW uint8) bool {
+		n := int(rawN)%200 + 10
+		w := int(rawW)%8 + 1
+		d := Blobs(n, 3, 2, 1, stats.NewRNG(3))
+		shards := d.Shard(w)
+		total := 0
+		for _, s := range shards {
+			total += s.Len()
+		}
+		return total == d.Len() && len(shards) == w
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	train, _ := blobs(t, 300, 13)
+	m := NewSoftmaxClassifier(train.Features(), train.Classes)
+	if _, err := Train(m, train, TrainConfig{Epochs: 3}); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back, 0) {
+		t.Error("marshal round trip lost parameters")
+	}
+	if _, err := Unmarshal([]byte("not json")); err == nil {
+		t.Error("bad blob accepted")
+	}
+	if _, err := Unmarshal([]byte("{}")); err == nil {
+		t.Error("empty model accepted")
+	}
+}
+
+func TestDriftedShiftsFeatures(t *testing.T) {
+	d := Blobs(50, 3, 2, 0.5, stats.NewRNG(1))
+	shifted := d.Drifted(2.5)
+	for i := range d.X {
+		for j := range d.X[i] {
+			if math.Abs(shifted.X[i][j]-d.X[i][j]-2.5) > 1e-12 {
+				t.Fatal("drift not applied uniformly")
+			}
+		}
+	}
+	// Drift should hurt a trained model's accuracy.
+	train, _ := d.Split(0.8)
+	m := NewSoftmaxClassifier(3, 2)
+	if _, err := Train(m, train, TrainConfig{Epochs: 10, LR: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Accuracy(d) <= m.Accuracy(d.Drifted(4)) {
+		t.Error("large drift did not reduce accuracy")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	d := Blobs(20, 3, 2, 1, stats.NewRNG(1))
+	m := NewSoftmaxClassifier(3, 2)
+	if _, err := m.LossAndGrad(d, 0, 5, make([]float64, 3)); err == nil {
+		t.Error("wrong grad length accepted")
+	}
+	if _, err := m.LossAndGrad(d, 5, 5, make([]float64, m.ParamCount())); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := m.ApplyGrad(make([]float64, 1), 0.1); err == nil {
+		t.Error("wrong grad length accepted by ApplyGrad")
+	}
+	if _, err := Train(m, &Dataset{Classes: 2}, TrainConfig{}); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func BenchmarkTrainSingle(b *testing.B) {
+	d := Blobs(2000, 8, 4, 0.8, stats.NewRNG(1))
+	for i := 0; i < b.N; i++ {
+		m := NewSoftmaxClassifier(8, 4)
+		if _, err := Train(m, d, TrainConfig{Epochs: 2, BatchSize: 64, LR: 0.2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrainDDP4(b *testing.B) {
+	d := Blobs(2000, 8, 4, 0.8, stats.NewRNG(1))
+	for i := 0; i < b.N; i++ {
+		m := NewSoftmaxClassifier(8, 4)
+		if _, err := Train(m, d, TrainConfig{Epochs: 2, BatchSize: 64, LR: 0.2, Workers: 4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+package mlcore
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/collective"
+)
+
+// TrainConfig parameterizes SGD training.
+type TrainConfig struct {
+	Epochs    int
+	BatchSize int
+	LR        float64
+	// Workers > 1 enables synchronous data-parallel training: the
+	// dataset shards across replicas, each computes local gradients
+	// concurrently, and gradients are averaged with the real ring
+	// all-reduce before every identical update — PyTorch DDP's contract
+	// at exact, testable scale.
+	Workers int
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if c.Epochs == 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 32
+	}
+	if c.LR == 0 {
+		c.LR = 0.1
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// EpochStats records one epoch's training signal.
+type EpochStats struct {
+	Epoch int
+	Loss  float64
+}
+
+// Train fits the model on train data and returns per-epoch losses. With
+// cfg.Workers > 1 it runs synchronous DDP over worker goroutines.
+func Train(m *SoftmaxClassifier, train *Dataset, cfg TrainConfig) ([]EpochStats, error) {
+	cfg = cfg.withDefaults()
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("mlcore: empty training set")
+	}
+	if cfg.Workers == 1 {
+		return trainSingle(m, train, cfg)
+	}
+	return trainDDP(m, train, cfg)
+}
+
+func trainSingle(m *SoftmaxClassifier, train *Dataset, cfg TrainConfig) ([]EpochStats, error) {
+	grad := make([]float64, m.ParamCount())
+	var stats []EpochStats
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		batches := 0
+		for lo := 0; lo < train.Len(); lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > train.Len() {
+				hi = train.Len()
+			}
+			loss, err := m.LossAndGrad(train, lo, hi, grad)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.ApplyGrad(grad, cfg.LR); err != nil {
+				return nil, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		stats = append(stats, EpochStats{Epoch: epoch, Loss: epochLoss / float64(batches)})
+	}
+	return stats, nil
+}
+
+// trainDDP runs synchronous data-parallel SGD: every replica holds an
+// identical copy of the parameters; per step, each computes the gradient
+// of its shard's micro-batch, the ring all-reduce averages them, and all
+// replicas apply the same update. The identical-replica invariant is
+// asserted by tests (Equal across workers after training).
+func trainDDP(m *SoftmaxClassifier, train *Dataset, cfg TrainConfig) ([]EpochStats, error) {
+	shards := train.Shard(cfg.Workers)
+	steps := 0
+	for _, s := range shards {
+		n := (s.Len() + cfg.BatchSize - 1) / cfg.BatchSize
+		if n > steps {
+			steps = n
+		}
+	}
+	replicas := make([]*SoftmaxClassifier, cfg.Workers)
+	for w := range replicas {
+		replicas[w] = m.Clone()
+	}
+	grads := make([][]float64, cfg.Workers)
+	for w := range grads {
+		grads[w] = make([]float64, m.ParamCount())
+	}
+	losses := make([]float64, cfg.Workers)
+
+	var stats []EpochStats
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		var epochLoss float64
+		for step := 0; step < steps; step++ {
+			var wg sync.WaitGroup
+			wg.Add(cfg.Workers)
+			errs := make([]error, cfg.Workers)
+			for w := 0; w < cfg.Workers; w++ {
+				go func(w int) {
+					defer wg.Done()
+					shard := shards[w]
+					lo := step * cfg.BatchSize
+					if lo >= shard.Len() {
+						// Short shard: contribute a zero gradient this
+						// step (all-reduce still averages over Workers).
+						for i := range grads[w] {
+							grads[w][i] = 0
+						}
+						losses[w] = 0
+						return
+					}
+					hi := lo + cfg.BatchSize
+					if hi > shard.Len() {
+						hi = shard.Len()
+					}
+					losses[w], errs[w] = replicas[w].LossAndGrad(shard, lo, hi, grads[w])
+				}(w)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					return nil, err
+				}
+			}
+			// Average gradients across replicas with the real collective.
+			if err := collective.RingAllReduce(grads); err != nil {
+				return nil, err
+			}
+			inv := 1.0 / float64(cfg.Workers)
+			for w := 0; w < cfg.Workers; w++ {
+				for i := range grads[w] {
+					grads[w][i] *= inv
+				}
+				if err := replicas[w].ApplyGrad(grads[w], cfg.LR); err != nil {
+					return nil, err
+				}
+			}
+			for _, l := range losses {
+				epochLoss += l
+			}
+		}
+		stats = append(stats, EpochStats{Epoch: epoch,
+			Loss: epochLoss / float64(steps*cfg.Workers)})
+	}
+	// Replicas are identical; publish replica 0 into the caller's model.
+	final := replicas[0]
+	for c := range m.W {
+		copy(m.W[c], final.W[c])
+	}
+	copy(m.B, final.B)
+	return stats, nil
+}

@@ -1,0 +1,284 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestTSDBQueryWindow(t *testing.T) {
+	db := NewTSDB()
+	for i := 0; i < 10; i++ {
+		db.Add("latency_ms", float64(i), float64(100+i))
+	}
+	pts := db.Query("latency_ms", 3, 6)
+	if len(pts) != 4 {
+		t.Fatalf("window returned %d points, want 4", len(pts))
+	}
+	if pts[0].V != 103 || pts[3].V != 106 {
+		t.Errorf("window edges wrong: %+v", pts)
+	}
+	if got := db.Query("missing", 0, 10); got != nil {
+		t.Errorf("missing series returned %v", got)
+	}
+}
+
+func TestTSDBOutOfOrderSorted(t *testing.T) {
+	db := NewTSDB()
+	db.Add("m", 5, 50)
+	db.Add("m", 1, 10)
+	db.Add("m", 3, 30)
+	pts := db.Query("m", 0, 10)
+	for i := 1; i < len(pts); i++ {
+		if pts[i-1].T > pts[i].T {
+			t.Fatal("query result not time-ordered")
+		}
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	db := NewTSDB()
+	for i := 1; i <= 5; i++ {
+		db.Add("m", float64(i), float64(i))
+	}
+	s, err := db.WindowStats("m", 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if _, err := db.WindowStats("m", 100, 200); err == nil {
+		t.Error("empty window should error")
+	}
+}
+
+func TestDriftDetectorNoDriftOnSameDistribution(t *testing.T) {
+	rng := stats.NewRNG(5)
+	ref := make([]float64, 3000)
+	cur := make([]float64, 3000)
+	for i := range ref {
+		ref[i] = rng.Normal()
+		cur[i] = rng.Normal()
+	}
+	d := NewDriftDetector(ref)
+	r := d.Check(cur)
+	if r.Drifted {
+		t.Errorf("false positive drift: %+v", r)
+	}
+}
+
+func TestDriftDetectorCatchesShift(t *testing.T) {
+	rng := stats.NewRNG(6)
+	ref := make([]float64, 3000)
+	cur := make([]float64, 3000)
+	for i := range ref {
+		ref[i] = rng.Normal()
+		cur[i] = rng.Normal()*1.4 + 1.2
+	}
+	d := NewDriftDetector(ref)
+	r := d.Check(cur)
+	if !r.Drifted {
+		t.Errorf("missed obvious drift: %+v", r)
+	}
+	if r.Reason == "" {
+		t.Error("drift report lacks reason")
+	}
+}
+
+func TestAlertRules(t *testing.T) {
+	db := NewTSDB()
+	for i := 0; i < 100; i++ {
+		db.Add("latency_ms", float64(i)*0.01, 50+float64(i%10))
+	}
+	// Spike in the last window.
+	db.Add("latency_ms", 0.99, 400)
+	m := &AlertManager{DB: db, Rules: []Rule{
+		{Name: "max-latency", Metric: "latency_ms", Window: 1, Aggregate: AggMax, Compare: Above, Threshold: 200},
+		{Name: "mean-latency", Metric: "latency_ms", Window: 1, Aggregate: AggMean, Compare: Above, Threshold: 200},
+		{Name: "throughput-low", Metric: "rps", Window: 1, Aggregate: AggMean, Compare: Below, Threshold: 10},
+	}}
+	alerts := m.Evaluate(1)
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %v, want just max-latency", alerts)
+	}
+	if alerts[0].Rule != "max-latency" {
+		t.Errorf("fired %s", alerts[0].Rule)
+	}
+	if alerts[0].String() == "" {
+		t.Error("empty alert string")
+	}
+}
+
+func TestAlertBelowComparison(t *testing.T) {
+	db := NewTSDB()
+	db.Add("rps", 1, 3)
+	m := &AlertManager{DB: db, Rules: []Rule{
+		{Name: "low", Metric: "rps", Window: 5, Aggregate: AggMean, Compare: Below, Threshold: 10},
+	}}
+	if alerts := m.Evaluate(2); len(alerts) != 1 {
+		t.Errorf("below-rule alerts = %v", alerts)
+	}
+}
+
+func TestShadowDeployment(t *testing.T) {
+	s := NewShadowDeployment(2)
+	if s.AgreementRate() != 1 {
+		t.Error("idle shadow should report 1.0")
+	}
+	for i := 0; i < 90; i++ {
+		s.Observe(fmt.Sprint(i), "pizza", "pizza")
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(fmt.Sprint(i), "pizza", "pasta")
+	}
+	if got := s.AgreementRate(); got != 0.9 {
+		t.Errorf("agreement = %v, want 0.9", got)
+	}
+	if got := len(s.Disagreements()); got != 2 {
+		t.Errorf("kept %d disagreements, want cap 2", got)
+	}
+}
+
+func TestABAssignStable(t *testing.T) {
+	ab := &ABTest{Name: "ranker", TrafficToB: 0.5}
+	for i := 0; i < 50; i++ {
+		u := fmt.Sprintf("user-%d", i)
+		if ab.Assign(u) != ab.Assign(u) {
+			t.Fatal("assignment not stable for same user")
+		}
+	}
+	// Split should be roughly even.
+	b := 0
+	for i := 0; i < 2000; i++ {
+		if ab.Assign(fmt.Sprintf("user-%d", i)) == "B" {
+			b++
+		}
+	}
+	if b < 800 || b > 1200 {
+		t.Errorf("B share = %d/2000, want ~1000", b)
+	}
+}
+
+func TestABTestDetectsRealDifference(t *testing.T) {
+	ab := &ABTest{Name: "exp", TrafficToB: 0.5}
+	rng := stats.NewRNG(9)
+	for i := 0; i < 3000; i++ {
+		mustOK(t, ab.Record("A", rng.Bool(0.50)))
+		mustOK(t, ab.Record("B", rng.Bool(0.58)))
+	}
+	r := ab.Result()
+	if !r.Significant || r.Winner != "B" {
+		t.Errorf("missed a real 8-point lift: %+v", r)
+	}
+}
+
+func TestABTestNoFalsePositiveOnEqualArms(t *testing.T) {
+	ab := &ABTest{Name: "exp", TrafficToB: 0.5}
+	rng := stats.NewRNG(10)
+	for i := 0; i < 3000; i++ {
+		mustOK(t, ab.Record("A", rng.Bool(0.5)))
+		mustOK(t, ab.Record("B", rng.Bool(0.5)))
+	}
+	r := ab.Result()
+	if r.Significant {
+		t.Errorf("significant on identical arms (p=%.3f); unlucky seeds possible but this one should pass", r.PValue)
+	}
+	if ab.Record("C", true) == nil {
+		t.Error("unknown arm accepted")
+	}
+}
+
+func TestABTestEmptyArms(t *testing.T) {
+	ab := &ABTest{Name: "x"}
+	r := ab.Result()
+	if r.Significant || r.ZScore != 0 {
+		t.Errorf("empty test result: %+v", r)
+	}
+}
+
+func TestCanaryVerdicts(t *testing.T) {
+	// Healthy canary.
+	c := NewCanaryComparison()
+	for i := 0; i < 500; i++ {
+		mustOK(t, c.Record("stable", i%100 == 0)) // 1%
+		mustOK(t, c.Record("canary", i%100 == 1)) // 1%
+	}
+	if err := c.Verdict(); err != nil {
+		t.Errorf("healthy canary rejected: %v", err)
+	}
+	// Absolute ceiling breach.
+	c2 := NewCanaryComparison()
+	for i := 0; i < 100; i++ {
+		mustOK(t, c2.Record("canary", i%10 == 0)) // 10%
+	}
+	if err := c2.Verdict(); err == nil {
+		t.Error("10% canary error rate accepted")
+	}
+	// Regression vs stable.
+	c3 := NewCanaryComparison()
+	for i := 0; i < 1000; i++ {
+		mustOK(t, c3.Record("stable", false))     // 0%
+		mustOK(t, c3.Record("canary", i%25 == 0)) // 4% < ceiling but regresses
+	}
+	if err := c3.Verdict(); err == nil {
+		t.Error("4 percent vs 0 percent regression accepted")
+	}
+	// No traffic: refuse to judge.
+	if err := NewCanaryComparison().Verdict(); err == nil {
+		t.Error("verdict with no canary traffic should fail")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if math.Abs(normalCDF(0)-0.5) > 1e-12 {
+		t.Error("Phi(0) != 0.5")
+	}
+	if math.Abs(normalCDF(1.96)-0.975) > 0.001 {
+		t.Errorf("Phi(1.96) = %v", normalCDF(1.96))
+	}
+}
+
+func TestTSDBConcurrent(t *testing.T) {
+	db := NewTSDB()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				db.Add("m", float64(i), float64(g))
+				db.Query("m", 0, float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(db.Query("m", -1, 1e9)); got != 1600 {
+		t.Errorf("points = %d, want 1600", got)
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDriftCheck(b *testing.B) {
+	rng := stats.NewRNG(1)
+	ref := make([]float64, 1000)
+	cur := make([]float64, 1000)
+	for i := range ref {
+		ref[i] = rng.Normal()
+		cur[i] = rng.Normal()
+	}
+	d := NewDriftDetector(ref)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Check(cur)
+	}
+}

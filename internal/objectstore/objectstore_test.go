@@ -1,0 +1,177 @@
+package objectstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simclock"
+)
+
+func newSvc() *Service {
+	return New(simclock.New(), nil)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := newSvc()
+	if _, err := s.CreateBucket("p", "datasets"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("food11 image bytes")
+	o, err := s.Put("datasets", "food11/train/0001.jpg", data, "image/jpeg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Size != int64(len(data)) || o.ETag == "" {
+		t.Errorf("object metadata: %+v", o)
+	}
+	got, err := s.Get("datasets", "food11/train/0001.jpg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data(), data) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestOverwriteChangesETag(t *testing.T) {
+	s := newSvc()
+	_, _ = s.CreateBucket("p", "b")
+	a, _ := s.Put("b", "k", []byte("v1"), "")
+	b, _ := s.Put("b", "k", []byte("v2"), "")
+	if a.ETag == b.ETag {
+		t.Error("ETag unchanged after overwrite")
+	}
+	got, _ := s.Get("b", "k")
+	if string(got.Data()) != "v2" {
+		t.Errorf("got %q after overwrite", got.Data())
+	}
+}
+
+func TestBucketErrors(t *testing.T) {
+	s := newSvc()
+	if _, err := s.Put("missing", "k", nil, ""); !errors.Is(err, ErrBucketNotFound) {
+		t.Errorf("put to missing bucket err = %v", err)
+	}
+	_, _ = s.CreateBucket("p", "b")
+	if _, err := s.CreateBucket("p", "b"); !errors.Is(err, ErrBucketExists) {
+		t.Errorf("duplicate bucket err = %v", err)
+	}
+	if _, err := s.Get("b", "nope"); !errors.Is(err, ErrObjectNotFound) {
+		t.Errorf("missing object err = %v", err)
+	}
+	if err := s.DeleteObject("b", "nope"); !errors.Is(err, ErrObjectNotFound) {
+		t.Errorf("delete missing object err = %v", err)
+	}
+	_, _ = s.Put("b", "k", []byte("x"), "")
+	if err := s.DeleteBucket("b"); !errors.Is(err, ErrBucketNotEmpty) {
+		t.Errorf("delete non-empty bucket err = %v", err)
+	}
+	if err := s.DeleteObject("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DeleteBucket("b"); !errors.Is(err, ErrBucketNotFound) {
+		t.Errorf("double bucket delete err = %v", err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	s := newSvc()
+	_, _ = s.CreateBucket("p", "b")
+	for _, k := range []string{"train/1", "train/2", "val/1", "test/1"} {
+		_, _ = s.Put("b", k, nil, "")
+	}
+	keys, err := s.List("b", "train/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "train/1" || keys[1] != "train/2" {
+		t.Errorf("List(train/) = %v", keys)
+	}
+	all, _ := s.List("b", "")
+	if len(all) != 4 {
+		t.Errorf("List() = %v", all)
+	}
+}
+
+func TestBucketSizeAndSynthetic(t *testing.T) {
+	s := newSvc()
+	_, _ = s.CreateBucket("p", "b")
+	_, _ = s.Put("b", "small", make([]byte, 100), "")
+	if _, err := s.PutSized("b", "dataset.tar", 1_200_000_000); err != nil {
+		t.Fatal(err)
+	}
+	size, err := s.BucketSize("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 1_200_000_100 {
+		t.Errorf("bucket size = %d", size)
+	}
+}
+
+func TestFSView(t *testing.T) {
+	s := newSvc()
+	_, _ = s.CreateBucket("p", "b")
+	_, _ = s.Put("b", "data/train/a.jpg", []byte("a"), "")
+	_, _ = s.Put("b", "data/train/b.jpg", []byte("b"), "")
+	_, _ = s.Put("b", "data/labels.csv", []byte("c"), "")
+	fs, err := s.Mount("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/data/labels.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "c" {
+		t.Errorf("ReadFile = %q", got)
+	}
+	entries, err := fs.ReadDir("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 { // "train/" and "labels.csv"
+		t.Errorf("ReadDir(/data) = %v", entries)
+	}
+	sub, _ := fs.ReadDir("data/train")
+	if len(sub) != 2 {
+		t.Errorf("ReadDir(data/train) = %v", sub)
+	}
+}
+
+func TestPutGetProperty(t *testing.T) {
+	s := newSvc()
+	_, _ = s.CreateBucket("p", "b")
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		key := fmt.Sprintf("obj-%d", i)
+		if _, err := s.Put("b", key, data, ""); err != nil {
+			return false
+		}
+		got, err := s.Get("b", key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Data(), data) && got.Size == int64(len(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	s := newSvc()
+	_, _ = s.CreateBucket("p", "b")
+	data := make([]byte, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = s.Put("b", fmt.Sprintf("k-%d", i), data, "")
+	}
+}

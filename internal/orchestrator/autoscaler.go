@@ -1,0 +1,52 @@
+package orchestrator
+
+import "math"
+
+// Autoscaler implements horizontal pod autoscaling: it adjusts a
+// deployment's replica count toward a utilization target using the
+// standard proportional rule
+//
+//	desired = ceil(current × observed/target)
+//
+// clamped to [Min, Max]. The metric source is injected so tests and the
+// serving simulator can drive it with synthetic load.
+type Autoscaler struct {
+	Deployment string
+	Min, Max   int
+	// TargetUtilization is the per-pod utilization setpoint in (0, 1].
+	TargetUtilization float64
+	// Metric returns current average per-pod utilization in [0, ∞).
+	Metric func() float64
+}
+
+// Evaluate reads the metric, computes the desired replica count, applies
+// it to the cluster, and returns the new count. It does not Reconcile;
+// callers control when scheduling happens.
+func (a *Autoscaler) Evaluate(c *Cluster) int {
+	c.mu.Lock()
+	d, ok := c.deployments[a.Deployment]
+	if !ok {
+		c.mu.Unlock()
+		return 0
+	}
+	current := d.Replicas
+	c.mu.Unlock()
+
+	observed := a.Metric()
+	desired := current
+	if a.TargetUtilization > 0 {
+		desired = int(math.Ceil(float64(current) * observed / a.TargetUtilization))
+	}
+	if desired < a.Min {
+		desired = a.Min
+	}
+	if desired > a.Max {
+		desired = a.Max
+	}
+	if desired != current {
+		c.mu.Lock()
+		d.Replicas = desired
+		c.mu.Unlock()
+	}
+	return desired
+}

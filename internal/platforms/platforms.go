@@ -1,0 +1,168 @@
+// Package platforms encodes §4 of the paper — the comparison of
+// candidate infrastructure platforms for teaching operational ML — as a
+// capability matrix and a requirements evaluator. The paper's argument
+// (traditional HPC lacks infrastructure control, commercial clouds carry
+// cost risk, other research testbeds lack mainstream cloud tooling, and
+// only Chameleon satisfies the full requirement set, uniquely including
+// edge devices via CHI@Edge) becomes a testable decision procedure.
+package platforms
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Capability is one platform property the course design cares about.
+type Capability string
+
+// The capabilities §4 discusses.
+const (
+	// FullInfraControl: provision and manage infrastructure from scratch
+	// (vs notebook/batch-only environments).
+	FullInfraControl Capability = "full-infra-control"
+	// StandardCloudTools: OpenStack/Terraform-compatible interfaces, not
+	// a specialized testbed API.
+	StandardCloudTools Capability = "standard-cloud-tools"
+	// GPUAccess: reservable GPU hardware for training labs.
+	GPUAccess Capability = "gpu-access"
+	// EdgeDevices: low-resource devices (Raspberry Pi / Jetson).
+	EdgeDevices Capability = "edge-devices"
+	// NoCostRisk: students cannot incur real charges.
+	NoCostRisk Capability = "no-cost-risk"
+	// ManagedServices: hosted Kubernetes, serverless, notebooks.
+	ManagedServices Capability = "managed-services"
+	// AdvanceReservations: calendar-based allocation of scarce hardware.
+	AdvanceReservations Capability = "advance-reservations"
+	// LargeScaleCompute: effectively unbounded capacity on demand.
+	LargeScaleCompute Capability = "large-scale-compute"
+)
+
+// Platform is one candidate environment.
+type Platform struct {
+	Name string
+	// Kind groups platforms the way §4 does.
+	Kind string // "research-testbed", "commercial-cloud", "hpc"
+	Caps map[Capability]bool
+	// Notes records the paper's stated reason for/against.
+	Notes string
+}
+
+// Has reports whether the platform provides a capability.
+func (p Platform) Has(c Capability) bool { return p.Caps[c] }
+
+func caps(cs ...Capability) map[Capability]bool {
+	m := map[Capability]bool{}
+	for _, c := range cs {
+		m[c] = true
+	}
+	return m
+}
+
+// Catalog returns the §4 candidates with their capabilities as the paper
+// describes them.
+func Catalog() []Platform {
+	return []Platform{
+		{
+			Name: "Chameleon Cloud", Kind: "research-testbed",
+			Caps: caps(FullInfraControl, StandardCloudTools, GPUAccess,
+				EdgeDevices, NoCostRisk, AdvanceReservations),
+			Notes: "OpenStack-based; CLI/API/GUI/Terraform; bare-metal GPU reservations; CHI@Edge BYOD",
+		},
+		{
+			Name: "AWS", Kind: "commercial-cloud",
+			Caps: caps(FullInfraControl, StandardCloudTools, GPUAccess,
+				ManagedServices, LargeScaleCompute),
+			Notes: "flexible and large-scale, but billing risk for students (credit cards / credit exhaustion)",
+		},
+		{
+			Name: "GCP", Kind: "commercial-cloud",
+			Caps: caps(FullInfraControl, StandardCloudTools, GPUAccess,
+				ManagedServices, LargeScaleCompute),
+			Notes: "used only for the optional final lab, via education credits",
+		},
+		{
+			Name: "CloudLab", Kind: "research-testbed",
+			Caps:  caps(FullInfraControl, GPUAccess, NoCostRisk, AdvanceReservations),
+			Notes: "capable testbed, but specialized interface rather than mainstream cloud tooling",
+		},
+		{
+			Name: "FABRIC", Kind: "research-testbed",
+			Caps:  caps(FullInfraControl, GPUAccess, NoCostRisk),
+			Notes: "networking/storage/compute research fabric; specialized interface",
+		},
+		{
+			Name: "Traditional HPC", Kind: "hpc",
+			Caps:  caps(GPUAccess, NoCostRisk, LargeScaleCompute),
+			Notes: "batch/notebook environments; no infrastructure control, so unsuitable for the learning objectives",
+		},
+	}
+}
+
+// CourseRequirements returns the capability set §4 derives from the
+// course's learning objectives.
+func CourseRequirements() []Capability {
+	return []Capability{
+		FullInfraControl, StandardCloudTools, GPUAccess, EdgeDevices, NoCostRisk,
+	}
+}
+
+// Verdict is one platform's evaluation against requirements.
+type Verdict struct {
+	Platform Platform
+	Missing  []Capability
+	// Qualified means every requirement is met.
+	Qualified bool
+}
+
+// Evaluate scores every cataloged platform against the requirements,
+// qualified platforms first, then by fewest missing capabilities, then
+// name.
+func Evaluate(required []Capability) []Verdict {
+	var out []Verdict
+	for _, p := range Catalog() {
+		v := Verdict{Platform: p}
+		for _, c := range required {
+			if !p.Has(c) {
+				v.Missing = append(v.Missing, c)
+			}
+		}
+		v.Qualified = len(v.Missing) == 0
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Qualified != out[j].Qualified {
+			return out[i].Qualified
+		}
+		if len(out[i].Missing) != len(out[j].Missing) {
+			return len(out[i].Missing) < len(out[j].Missing)
+		}
+		return out[i].Platform.Name < out[j].Platform.Name
+	})
+	return out
+}
+
+// Matrix renders the capability matrix as text for cmd/coursesim.
+func Matrix() string {
+	capsList := []Capability{FullInfraControl, StandardCloudTools, GPUAccess,
+		EdgeDevices, NoCostRisk, ManagedServices, AdvanceReservations, LargeScaleCompute}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s", "platform")
+	for _, c := range capsList {
+		short := strings.Split(string(c), "-")[0]
+		fmt.Fprintf(&b, " %8s", short)
+	}
+	b.WriteByte('\n')
+	for _, p := range Catalog() {
+		fmt.Fprintf(&b, "%-18s", p.Name)
+		for _, c := range capsList {
+			mark := "-"
+			if p.Has(c) {
+				mark = "x"
+			}
+			fmt.Fprintf(&b, " %8s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

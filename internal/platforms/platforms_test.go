@@ -1,0 +1,98 @@
+package platforms
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOnlyChameleonQualifies(t *testing.T) {
+	// The paper's §4 conclusion as an assertion: for the course's
+	// requirement set, exactly one cataloged platform qualifies.
+	verdicts := Evaluate(CourseRequirements())
+	var qualified []string
+	for _, v := range verdicts {
+		if v.Qualified {
+			qualified = append(qualified, v.Platform.Name)
+		}
+	}
+	if len(qualified) != 1 || qualified[0] != "Chameleon Cloud" {
+		t.Errorf("qualified = %v, want exactly [Chameleon Cloud]", qualified)
+	}
+}
+
+func TestPaperStatedGaps(t *testing.T) {
+	byName := map[string]Verdict{}
+	for _, v := range Evaluate(CourseRequirements()) {
+		byName[v.Platform.Name] = v
+	}
+	// Commercial clouds fail on cost risk (and edge).
+	awsMissing := map[Capability]bool{}
+	for _, c := range byName["AWS"].Missing {
+		awsMissing[c] = true
+	}
+	if !awsMissing[NoCostRisk] {
+		t.Error("AWS should miss no-cost-risk")
+	}
+	// CloudLab/FABRIC fail on standard tooling.
+	for _, name := range []string{"CloudLab", "FABRIC"} {
+		miss := map[Capability]bool{}
+		for _, c := range byName[name].Missing {
+			miss[c] = true
+		}
+		if !miss[StandardCloudTools] {
+			t.Errorf("%s should miss standard-cloud-tools", name)
+		}
+	}
+	// HPC fails on infrastructure control.
+	hpcMiss := map[Capability]bool{}
+	for _, c := range byName["Traditional HPC"].Missing {
+		hpcMiss[c] = true
+	}
+	if !hpcMiss[FullInfraControl] {
+		t.Error("HPC should miss full-infra-control")
+	}
+}
+
+func TestEvaluateOrdering(t *testing.T) {
+	verdicts := Evaluate(CourseRequirements())
+	if !verdicts[0].Qualified {
+		t.Fatal("qualified platform not ranked first")
+	}
+	for i := 1; i < len(verdicts); i++ {
+		if verdicts[i].Qualified && !verdicts[i-1].Qualified {
+			t.Fatal("qualified platform ranked after unqualified")
+		}
+		if verdicts[i].Qualified == verdicts[i-1].Qualified &&
+			len(verdicts[i].Missing) < len(verdicts[i-1].Missing) {
+			t.Fatal("not ordered by missing count")
+		}
+	}
+}
+
+func TestRelaxedRequirementsAdmitMore(t *testing.T) {
+	// Drop edge + cost-risk: commercial clouds qualify too (the Unit-10
+	// story: skills transfer once billing risk is handled).
+	relaxed := []Capability{FullInfraControl, StandardCloudTools, GPUAccess}
+	qualified := 0
+	for _, v := range Evaluate(relaxed) {
+		if v.Qualified {
+			qualified++
+		}
+	}
+	if qualified < 3 {
+		t.Errorf("relaxed requirements qualify %d platforms, want >= 3", qualified)
+	}
+}
+
+func TestMatrixRenders(t *testing.T) {
+	m := Matrix()
+	for _, want := range []string{"Chameleon Cloud", "Traditional HPC", "x", "-"} {
+		if !strings.Contains(m, want) {
+			t.Errorf("matrix missing %q:\n%s", want, m)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != 1+len(Catalog()) {
+		t.Errorf("matrix lines = %d", len(lines))
+	}
+}

@@ -1,0 +1,106 @@
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/course"
+	"repro/internal/studentsim"
+)
+
+// CSV renders rows (first row = header) as RFC-4180 CSV for downstream
+// plotting — the machine-readable companions to the text tables.
+func CSV(rows [][]string) (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.WriteAll(rows); err != nil {
+		return "", err
+	}
+	w.Flush()
+	return b.String(), w.Error()
+}
+
+// Table1CSV emits the Table-1 data with raw (unrounded) dollar values.
+func Table1CSV(res *studentsim.Result) (string, error) {
+	rows := [][]string{{"row_id", "assignment", "instance_type", "vms_per_student",
+		"instance_hours", "fip_hours", "aws_usd", "gcp_usd"}}
+	for _, row := range course.Rows() {
+		usage := cost.LabUsage{RowID: row.ID,
+			InstanceHours: res.RowInstanceHours[row.ID], FIPHours: res.RowFIPHours[row.ID]}
+		aws, err := cost.LabRowCost(usage, cost.AWS)
+		if err != nil {
+			return "", err
+		}
+		gcp, err := cost.LabRowCost(usage, cost.GCP)
+		if err != nil {
+			return "", err
+		}
+		rows = append(rows, []string{
+			row.ID, row.Assignment, row.Flavor.Name,
+			fmt.Sprint(row.VMsPerStudent),
+			fmt.Sprintf("%.1f", usage.InstanceHours),
+			fmt.Sprintf("%.1f", usage.FIPHours),
+			fmt.Sprintf("%.2f", aws),
+			fmt.Sprintf("%.2f", gcp),
+		})
+	}
+	return CSV(rows)
+}
+
+// Fig1CSV emits expected vs actual per-student hours per row.
+func Fig1CSV(res *studentsim.Result) (string, error) {
+	n := float64(res.Config.Students)
+	rows := [][]string{{"row_id", "class", "expected_hours_per_student", "actual_hours_per_student"}}
+	for _, row := range course.Rows() {
+		class := "vm"
+		if row.Reserved() {
+			class = "reserved"
+		}
+		rows = append(rows, []string{
+			row.ID, class,
+			fmt.Sprintf("%.3f", row.ExpectedHours*float64(row.VMsPerStudent)*row.Share),
+			fmt.Sprintf("%.3f", res.RowInstanceHours[row.ID]/n),
+		})
+	}
+	return CSV(rows)
+}
+
+// Fig2CSV emits the per-student cost vector for one provider.
+func Fig2CSV(res *studentsim.Result, p cost.Provider) (string, error) {
+	costs, err := studentsim.StudentCosts(res, p)
+	if err != nil {
+		return "", err
+	}
+	rows := [][]string{{"student", fmt.Sprintf("%s_usd", strings.ToLower(p.String()))}}
+	for i, c := range costs {
+		rows = append(rows, []string{res.Students[i].ID, fmt.Sprintf("%.2f", c)})
+	}
+	return CSV(rows)
+}
+
+// Fig3CSV emits project hours by instance class.
+func Fig3CSV(proj *studentsim.ProjectResult) (string, error) {
+	rows := [][]string{{"class", "kind", "hours"}}
+	emit := func(kind string, m map[string]float64) {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		// Deterministic order.
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		for _, k := range keys {
+			rows = append(rows, []string{k, kind, fmt.Sprintf("%.1f", m[k])})
+		}
+	}
+	emit("vm", proj.Usage.VMHours)
+	emit("gpu", proj.Usage.GPUHours)
+	rows = append(rows, []string{"baremetal", "bm", fmt.Sprintf("%.1f", proj.Usage.BMHours)})
+	rows = append(rows, []string{"raspberrypi5", "edge", fmt.Sprintf("%.1f", proj.Usage.EdgeHours)})
+	return CSV(rows)
+}

@@ -1,0 +1,55 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/studentsim"
+)
+
+func TestCSVQuoting(t *testing.T) {
+	out, err := CSV([][]string{{"a", "b"}, {"has,comma", `has"quote`}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"has,comma"`) || !strings.Contains(out, `"has""quote"`) {
+		t.Errorf("CSV quoting: %q", out)
+	}
+}
+
+func TestAllCSVsWellFormed(t *testing.T) {
+	res := labsResult(t)
+	proj := studentsim.SimulateProjects(studentsim.ProjectConfig{Seed: 1})
+
+	cases := map[string]func() (string, error){
+		"table1": func() (string, error) { return Table1CSV(res) },
+		"fig1":   func() (string, error) { return Fig1CSV(res) },
+		"fig2":   func() (string, error) { return Fig2CSV(res, cost.AWS) },
+		"fig3":   func() (string, error) { return Fig3CSV(proj) },
+	}
+	wantRows := map[string]int{
+		"table1": 1 + 16, // header + rows
+		"fig1":   1 + 16,
+		"fig2":   1 + 191, // header + students
+		"fig3":   1 + 8 + 2,
+	}
+	for name, gen := range cases {
+		out, err := gen()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != wantRows[name] {
+			t.Errorf("%s rows = %d, want %d", name, len(lines), wantRows[name])
+		}
+		// Every row has the header's column count.
+		cols := strings.Count(lines[0], ",")
+		for i, l := range lines {
+			if strings.Count(l, ",") < cols {
+				t.Errorf("%s line %d has fewer columns: %q", name, i, l)
+				break
+			}
+		}
+	}
+}

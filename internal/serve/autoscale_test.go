@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+func scaleCfg() Config {
+	return Config{Model: FoodClassifier(), Device: DeviceServer, MaxBatch: 8, Instances: 1}
+}
+
+func TestDiurnalCurveShape(t *testing.T) {
+	curve := DiurnalCurve(100, 4)
+	if got := curve(20); math.Abs(got-400) > 1e-9 {
+		t.Errorf("peak rate = %v, want 400", got)
+	}
+	if got := curve(8); math.Abs(got-100) > 1e-9 {
+		t.Errorf("off-peak rate = %v, want base 100", got)
+	}
+	// Shoulder between base and peak.
+	if got := curve(17); got <= 100 || got >= 400 {
+		t.Errorf("shoulder rate = %v", got)
+	}
+}
+
+func TestStaticPeakProvisioningNeverOverloads(t *testing.T) {
+	cfg := scaleCfg()
+	curve := DiurnalCurve(200, 5)
+	peak := PeakReplicasNeeded(cfg, curve)
+	out, err := SimulateStatic(cfg, curve, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OverloadHours != 0 {
+		t.Errorf("peak-provisioned overload = %v h", out.OverloadHours)
+	}
+	if out.InstanceHours != float64(peak)*24 {
+		t.Errorf("instance hours = %v, want %v", out.InstanceHours, float64(peak)*24)
+	}
+	// Static peak provisioning idles off-peak.
+	if out.MeanUtilization > 0.6 {
+		t.Errorf("static mean utilization = %v, expected idle capacity", out.MeanUtilization)
+	}
+}
+
+func TestAutoscalingSavesInstanceHours(t *testing.T) {
+	cfg := scaleCfg()
+	curve := DiurnalCurve(200, 5)
+	peak := PeakReplicasNeeded(cfg, curve)
+	static, err := SimulateStatic(cfg, curve, peak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := SimulateAutoscaled(cfg, curve, AutoscalePolicy{
+		Min: 1, Max: peak + 2, TargetUtilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto.InstanceHours >= 0.75*static.InstanceHours {
+		t.Errorf("autoscaled %v h not well below static %v h", auto.InstanceHours, static.InstanceHours)
+	}
+	// With a 0.7 target there is headroom: negligible overload.
+	if auto.OverloadHours > 0.5 {
+		t.Errorf("autoscaled overload = %v h", auto.OverloadHours)
+	}
+	if auto.MeanUtilization <= static.MeanUtilization {
+		t.Error("autoscaling should raise mean utilization")
+	}
+	if auto.PeakReplicas > peak+2 || auto.PeakReplicas < peak-1 {
+		t.Errorf("autoscaled peak replicas = %d vs needed %d", auto.PeakReplicas, peak)
+	}
+}
+
+func TestAutoscaleCapBoundsOverload(t *testing.T) {
+	cfg := scaleCfg()
+	curve := DiurnalCurve(200, 5)
+	// Max too low: the evening peak must overload.
+	out, err := SimulateAutoscaled(cfg, curve, AutoscalePolicy{Min: 1, Max: 1, TargetUtilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.OverloadHours == 0 {
+		t.Error("capped autoscaler should overload at peak")
+	}
+}
+
+func TestAutoscaleValidation(t *testing.T) {
+	cfg := scaleCfg()
+	curve := DiurnalCurve(10, 2)
+	if _, err := SimulateStatic(cfg, curve, 0); err == nil {
+		t.Error("zero replicas accepted")
+	}
+	if _, err := SimulateAutoscaled(cfg, curve, AutoscalePolicy{Min: 0, Max: 2, TargetUtilization: 0.5}); err == nil {
+		t.Error("zero min accepted")
+	}
+	if _, err := SimulateAutoscaled(cfg, curve, AutoscalePolicy{Min: 1, Max: 2, TargetUtilization: 1.5}); err == nil {
+		t.Error("target > 1 accepted")
+	}
+}
+
+func TestGradualScaleDown(t *testing.T) {
+	// After the peak the replica count declines one step per tick rather
+	// than collapsing — the flap guard.
+	cfg := scaleCfg()
+	spiky := func(hour float64) float64 {
+		if hour >= 10 && hour < 10.25 {
+			return 2000
+		}
+		return 10
+	}
+	out, err := SimulateAutoscaled(cfg, spiky, AutoscalePolicy{Min: 1, Max: 10, TargetUtilization: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spike hours ≈ 0.25; gradual decay keeps extra capacity longer, so
+	// instance-hours exceed the naive min+spike area but stay far below
+	// static-peak (10 × 24).
+	if out.InstanceHours < 24.5 || out.InstanceHours > 60 {
+		t.Errorf("instance hours with decay = %v", out.InstanceHours)
+	}
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBatcherClosed is returned for submissions after Close.
+var ErrBatcherClosed = errors.New("serve: batcher is closed")
+
+// Request is one inference request moving through the batcher.
+type Request struct {
+	Input  []float64
+	result chan Response
+}
+
+// Response carries the inference output back to the submitter.
+type Response struct {
+	Output    []float64
+	BatchSize int // how many requests shared the execution
+	Err       error
+}
+
+// ExecuteFunc runs one batch and returns per-request outputs (len must
+// equal len(inputs)). The dynamic batcher is agnostic to what execution
+// means: production code runs a model, tests count calls.
+type ExecuteFunc func(inputs [][]float64) ([][]float64, error)
+
+// Batcher implements Triton-style dynamic batching: requests queue until
+// either MaxBatch are waiting or MaxDelay has elapsed since the first
+// queued request, then the whole group executes as one batch. Multiple
+// Instances drain the queue concurrently (instance/concurrency scaling,
+// the lab's system-level optimization).
+type Batcher struct {
+	MaxBatch int
+	MaxDelay time.Duration
+	Execute  ExecuteFunc
+
+	queue  chan *Request
+	done   chan struct{}
+	wg     sync.WaitGroup
+	closed sync.Once
+
+	mu          sync.Mutex
+	batches     int
+	requests    int
+	sumBatchLen int
+}
+
+// NewBatcher starts a dynamic batcher with the given number of concurrent
+// executor instances.
+func NewBatcher(maxBatch int, maxDelay time.Duration, instances int, execute ExecuteFunc) *Batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	if instances < 1 {
+		instances = 1
+	}
+	b := &Batcher{
+		MaxBatch: maxBatch,
+		MaxDelay: maxDelay,
+		Execute:  execute,
+		queue:    make(chan *Request, 16*maxBatch),
+		done:     make(chan struct{}),
+	}
+	b.wg.Add(instances)
+	for i := 0; i < instances; i++ {
+		go b.instance()
+	}
+	return b
+}
+
+// instance collects one batch at a time and executes it.
+func (b *Batcher) instance() {
+	defer b.wg.Done()
+	for {
+		// Block for the first request (or shutdown).
+		var first *Request
+		select {
+		case first = <-b.queue:
+		case <-b.done:
+			return
+		}
+		batch := []*Request{first}
+		timer := time.NewTimer(b.MaxDelay)
+	collect:
+		for len(batch) < b.MaxBatch {
+			select {
+			case r := <-b.queue:
+				batch = append(batch, r)
+			case <-timer.C:
+				break collect
+			case <-b.done:
+				// Drain-on-close: execute what we have.
+				break collect
+			}
+		}
+		timer.Stop()
+		b.run(batch)
+	}
+}
+
+func (b *Batcher) run(batch []*Request) {
+	inputs := make([][]float64, len(batch))
+	for i, r := range batch {
+		inputs[i] = r.Input
+	}
+	outputs, err := b.Execute(inputs)
+	if err == nil && len(outputs) != len(batch) {
+		err = errors.New("serve: executor returned wrong output count")
+	}
+	b.mu.Lock()
+	b.batches++
+	b.requests += len(batch)
+	b.sumBatchLen += len(batch)
+	b.mu.Unlock()
+	for i, r := range batch {
+		resp := Response{BatchSize: len(batch), Err: err}
+		if err == nil {
+			resp.Output = outputs[i]
+		}
+		r.result <- resp
+	}
+}
+
+// Submit enqueues a request and blocks until its batch executes.
+func (b *Batcher) Submit(input []float64) (Response, error) {
+	r := &Request{Input: input, result: make(chan Response, 1)}
+	select {
+	case b.queue <- r:
+	case <-b.done:
+		return Response{}, ErrBatcherClosed
+	}
+	select {
+	case resp := <-r.result:
+		return resp, nil
+	case <-b.done:
+		// Instances drain the queue on close; if our request was picked
+		// up, the response still arrives.
+		select {
+		case resp := <-r.result:
+			return resp, nil
+		case <-time.After(time.Second):
+			return Response{}, ErrBatcherClosed
+		}
+	}
+}
+
+// Close stops the instances. In-flight batches finish; queued requests
+// that were never collected receive ErrBatcherClosed from Submit.
+func (b *Batcher) Close() {
+	b.closed.Do(func() { close(b.done) })
+	b.wg.Wait()
+}
+
+// Stats reports executed batches, total requests, and mean batch size —
+// the numbers the lab reads off Triton's metrics endpoint.
+func (b *Batcher) Stats() (batches, requests int, meanBatch float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.batches > 0 {
+		meanBatch = float64(b.sumBatchLen) / float64(b.batches)
+	}
+	return b.batches, b.requests, meanBatch
+}

@@ -1,0 +1,180 @@
+// Package serve models the Unit-6 lab: preparing model-serving
+// configurations that balance latency, throughput, accuracy, and disk
+// footprint under tight performance budgets. It provides (1) a model-
+// optimization calculus — graph fusion, INT8 quantization, pruning,
+// distillation — with their standard latency/size/accuracy trade-offs,
+// (2) device profiles from server-grade GPUs down to the Raspberry Pi 5
+// edge devices the course added to CHI@Edge, (3) an analytical
+// latency/throughput model for configuration sweeps, and (4) a real
+// concurrent dynamic batcher (batcher.go) of the kind Triton uses for
+// system-level optimization.
+package serve
+
+import "fmt"
+
+// Model describes a deployable model's serving characteristics.
+// BaseLatencyMS is single-image latency at batch 1 on the reference
+// device (an A100); other devices scale it by their SpeedFactor.
+type Model struct {
+	Name          string
+	BaseLatencyMS float64
+	SizeMB        float64
+	Accuracy      float64 // top-1 on the eval set, in [0,1]
+}
+
+// FoodClassifier returns the GourmetGram baseline model the labs
+// optimize: a mid-size image classifier.
+func FoodClassifier() Model {
+	return Model{Name: "food11-resnet", BaseLatencyMS: 8.0, SizeMB: 98, Accuracy: 0.9062}
+}
+
+// Optimization transforms a model's serving profile.
+type Optimization int
+
+const (
+	// GraphFusion fuses operators and constant-folds the graph: ~25%
+	// latency cut, no accuracy cost.
+	GraphFusion Optimization = iota
+	// QuantizeINT8 converts weights/activations to int8: ~45% latency
+	// cut on hardware with int8 paths, 4x smaller, small accuracy loss.
+	QuantizeINT8
+	// Prune removes 50% of weights: 30% latency cut, half size, moderate
+	// accuracy loss.
+	Prune
+	// Distill swaps in a smaller student: 60% latency cut, quarter size,
+	// larger accuracy loss.
+	Distill
+)
+
+func (o Optimization) String() string {
+	switch o {
+	case GraphFusion:
+		return "graph-fusion"
+	case QuantizeINT8:
+		return "int8"
+	case Prune:
+		return "prune"
+	case Distill:
+		return "distill"
+	default:
+		return fmt.Sprintf("Optimization(%d)", int(o))
+	}
+}
+
+// Apply returns the model after an optimization. Effects compose
+// multiplicatively, matching how the lab stacks ONNX Runtime graph
+// optimizations with quantization.
+func (m Model) Apply(o Optimization) Model {
+	out := m
+	out.Name = m.Name + "+" + o.String()
+	switch o {
+	case GraphFusion:
+		out.BaseLatencyMS *= 0.75
+	case QuantizeINT8:
+		out.BaseLatencyMS *= 0.55
+		out.SizeMB /= 4
+		out.Accuracy -= 0.006
+	case Prune:
+		out.BaseLatencyMS *= 0.70
+		out.SizeMB /= 2
+		out.Accuracy -= 0.015
+	case Distill:
+		out.BaseLatencyMS *= 0.40
+		out.SizeMB /= 4
+		out.Accuracy -= 0.03
+	}
+	return out
+}
+
+// Device is the serving hardware profile. SpeedFactor divides throughput
+// relative to the reference device (A100 = 1.0); INT8Boost is the extra
+// speedup int8 models get from dedicated paths.
+type Device struct {
+	Name        string
+	SpeedFactor float64
+	INT8Boost   float64
+	// MaxConcurrent is how many model instances can execute at once
+	// (GPUs × per-GPU streams, or CPU cores on edge).
+	MaxConcurrent int
+}
+
+// Device catalog spanning the lab's three parts: server GPU, edge
+// device, multi-GPU server.
+var (
+	DeviceA100   = Device{Name: "A100", SpeedFactor: 1.0, INT8Boost: 1.3, MaxConcurrent: 4}
+	DeviceP100   = Device{Name: "P100", SpeedFactor: 0.35, INT8Boost: 1.0, MaxConcurrent: 2}
+	DevicePi5    = Device{Name: "raspberrypi5", SpeedFactor: 0.02, INT8Boost: 1.6, MaxConcurrent: 4}
+	DeviceServer = Device{Name: "cpu-server", SpeedFactor: 0.08, INT8Boost: 1.5, MaxConcurrent: 16}
+)
+
+// Config is one serving configuration a student might submit: model
+// variant, device, batching and concurrency settings.
+type Config struct {
+	Model     Model
+	Device    Device
+	MaxBatch  int
+	Instances int // concurrent model instances (<= Device.MaxConcurrent)
+	IsINT8    bool
+}
+
+// batchScale is the marginal cost of growing a batch: per-item work
+// amortizes kernel launch and memory traffic, so latency grows sublinearly
+// — batch b costs 1 + slope×(b−1) of a batch-1 execution.
+const batchScale = 0.12
+
+// BatchLatencyMS returns the wall time of one batch-b execution.
+func (c Config) BatchLatencyMS(b int) float64 {
+	if b < 1 {
+		b = 1
+	}
+	lat := c.Model.BaseLatencyMS / c.Device.SpeedFactor
+	if c.IsINT8 {
+		lat /= c.Device.INT8Boost
+	}
+	return lat * (1 + batchScale*float64(b-1))
+}
+
+// Throughput returns steady-state requests/second with full batches on
+// every instance.
+func (c Config) Throughput() float64 {
+	b := c.MaxBatch
+	if b < 1 {
+		b = 1
+	}
+	inst := c.Instances
+	if inst < 1 {
+		inst = 1
+	}
+	if inst > c.Device.MaxConcurrent {
+		inst = c.Device.MaxConcurrent
+	}
+	return float64(b) * float64(inst) / (c.BatchLatencyMS(b) / 1000)
+}
+
+// MeetsBudget checks a configuration against the lab's performance
+// budgets: p95-ish latency bound (batch latency as proxy), minimum
+// throughput, accuracy floor, and size ceiling.
+type Budget struct {
+	MaxLatencyMS  float64
+	MinThroughput float64
+	MinAccuracy   float64
+	MaxSizeMB     float64
+}
+
+// Check returns nil when the configuration satisfies the budget, or an
+// error naming the first violated constraint.
+func (c Config) Check(b Budget) error {
+	if lat := c.BatchLatencyMS(c.MaxBatch); b.MaxLatencyMS > 0 && lat > b.MaxLatencyMS {
+		return fmt.Errorf("serve: latency %.1fms exceeds budget %.1fms", lat, b.MaxLatencyMS)
+	}
+	if tp := c.Throughput(); b.MinThroughput > 0 && tp < b.MinThroughput {
+		return fmt.Errorf("serve: throughput %.0f/s below budget %.0f/s", tp, b.MinThroughput)
+	}
+	if b.MinAccuracy > 0 && c.Model.Accuracy < b.MinAccuracy {
+		return fmt.Errorf("serve: accuracy %.4f below floor %.4f", c.Model.Accuracy, b.MinAccuracy)
+	}
+	if b.MaxSizeMB > 0 && c.Model.SizeMB > b.MaxSizeMB {
+		return fmt.Errorf("serve: size %.0fMB exceeds cap %.0fMB", c.Model.SizeMB, b.MaxSizeMB)
+	}
+	return nil
+}

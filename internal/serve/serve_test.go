@@ -1,0 +1,254 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestOptimizationTradeoffs(t *testing.T) {
+	base := FoodClassifier()
+	fused := base.Apply(GraphFusion)
+	if fused.BaseLatencyMS >= base.BaseLatencyMS {
+		t.Error("graph fusion did not cut latency")
+	}
+	if fused.Accuracy != base.Accuracy {
+		t.Error("graph fusion should not change accuracy")
+	}
+	q := base.Apply(QuantizeINT8)
+	if q.SizeMB != base.SizeMB/4 {
+		t.Errorf("int8 size = %v, want /4", q.SizeMB)
+	}
+	if q.Accuracy >= base.Accuracy {
+		t.Error("int8 should cost some accuracy")
+	}
+	// Stacked optimizations compose.
+	both := base.Apply(GraphFusion).Apply(QuantizeINT8)
+	if both.BaseLatencyMS >= q.BaseLatencyMS {
+		t.Error("stacking fusion+int8 should beat int8 alone")
+	}
+}
+
+func TestBatchingImprovesThroughputCostsLatency(t *testing.T) {
+	m := FoodClassifier()
+	single := Config{Model: m, Device: DeviceA100, MaxBatch: 1, Instances: 1}
+	batched := Config{Model: m, Device: DeviceA100, MaxBatch: 16, Instances: 1}
+	if batched.Throughput() <= 2*single.Throughput() {
+		t.Errorf("batch-16 throughput %.0f not ≫ batch-1 %.0f",
+			batched.Throughput(), single.Throughput())
+	}
+	if batched.BatchLatencyMS(16) <= single.BatchLatencyMS(1) {
+		t.Error("batching should increase per-batch latency")
+	}
+}
+
+func TestEdgeDeviceMuchSlower(t *testing.T) {
+	m := FoodClassifier().Apply(QuantizeINT8)
+	gpu := Config{Model: m, Device: DeviceA100, MaxBatch: 1, Instances: 1, IsINT8: true}
+	pi := Config{Model: m, Device: DevicePi5, MaxBatch: 1, Instances: 1, IsINT8: true}
+	ratio := pi.BatchLatencyMS(1) / gpu.BatchLatencyMS(1)
+	if ratio < 20 {
+		t.Errorf("Pi/GPU latency ratio = %.1f, expected server ≫ edge", ratio)
+	}
+}
+
+func TestInstancesScaleThroughput(t *testing.T) {
+	m := FoodClassifier()
+	one := Config{Model: m, Device: DeviceA100, MaxBatch: 4, Instances: 1}
+	four := Config{Model: m, Device: DeviceA100, MaxBatch: 4, Instances: 4}
+	if four.Throughput() != 4*one.Throughput() {
+		t.Errorf("4 instances: %.0f, want 4 × %.0f", four.Throughput(), one.Throughput())
+	}
+	// Instances clamp at device concurrency.
+	eight := Config{Model: m, Device: DeviceA100, MaxBatch: 4, Instances: 8}
+	if eight.Throughput() != four.Throughput() {
+		t.Error("instances not clamped to device MaxConcurrent")
+	}
+}
+
+func TestBudgetChecks(t *testing.T) {
+	m := FoodClassifier()
+	cfg := Config{Model: m, Device: DeviceA100, MaxBatch: 8, Instances: 2}
+	if err := cfg.Check(Budget{MaxLatencyMS: 50, MinThroughput: 100, MinAccuracy: 0.89}); err != nil {
+		t.Errorf("reasonable budget failed: %v", err)
+	}
+	if err := cfg.Check(Budget{MaxLatencyMS: 1}); err == nil {
+		t.Error("impossible latency budget passed")
+	}
+	if err := cfg.Check(Budget{MinAccuracy: 0.99}); err == nil {
+		t.Error("accuracy floor not enforced")
+	}
+	distilled := Config{Model: m.Apply(Distill), Device: DeviceA100, MaxBatch: 8, Instances: 2}
+	if err := distilled.Check(Budget{MaxSizeMB: 30}); err != nil {
+		t.Errorf("distilled model should meet 30MB cap: %v", err)
+	}
+	if err := cfg.Check(Budget{MaxSizeMB: 30}); err == nil {
+		t.Error("base model should fail 30MB cap")
+	}
+}
+
+func echoExec(inputs [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(inputs))
+	for i, in := range inputs {
+		out[i] = in
+	}
+	return out, nil
+}
+
+func TestBatcherFormsFullBatches(t *testing.T) {
+	var calls int32
+	exec := func(inputs [][]float64) ([][]float64, error) {
+		atomic.AddInt32(&calls, 1)
+		time.Sleep(time.Millisecond)
+		return echoExec(inputs)
+	}
+	b := NewBatcher(8, 50*time.Millisecond, 1, exec)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	batchSizes := make([]int, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := b.Submit([]float64{float64(i)})
+			if err != nil || resp.Err != nil {
+				t.Errorf("submit %d: %v %v", i, err, resp.Err)
+				return
+			}
+			if len(resp.Output) != 1 || resp.Output[0] != float64(i) {
+				t.Errorf("echo mismatch for %d: %v", i, resp.Output)
+			}
+			batchSizes[i] = resp.BatchSize
+		}(i)
+	}
+	wg.Wait()
+	batches, requests, mean := b.Stats()
+	if requests != 16 {
+		t.Errorf("requests = %d", requests)
+	}
+	if batches >= 16 {
+		t.Errorf("no batching happened: %d batches for 16 requests", batches)
+	}
+	if mean <= 1.5 {
+		t.Errorf("mean batch size %.1f, wanted > 1.5", mean)
+	}
+}
+
+func TestBatcherMaxDelayFlushesPartialBatch(t *testing.T) {
+	b := NewBatcher(64, 10*time.Millisecond, 1, echoExec)
+	defer b.Close()
+	start := time.Now()
+	resp, err := b.Submit([]float64{1})
+	if err != nil || resp.Err != nil {
+		t.Fatalf("%v %v", err, resp.Err)
+	}
+	elapsed := time.Since(start)
+	if resp.BatchSize != 1 {
+		t.Errorf("batch size = %d, want 1 (timeout flush)", resp.BatchSize)
+	}
+	if elapsed < 5*time.Millisecond {
+		t.Errorf("flushed before MaxDelay: %v", elapsed)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("flush took far too long: %v", elapsed)
+	}
+}
+
+func TestBatcherRespectsMaxBatch(t *testing.T) {
+	seen := make(chan int, 64)
+	exec := func(inputs [][]float64) ([][]float64, error) {
+		seen <- len(inputs)
+		return echoExec(inputs)
+	}
+	b := NewBatcher(4, 20*time.Millisecond, 1, exec)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = b.Submit([]float64{1})
+		}()
+	}
+	wg.Wait()
+	close(seen)
+	for n := range seen {
+		if n > 4 {
+			t.Errorf("batch of %d exceeds MaxBatch 4", n)
+		}
+	}
+}
+
+func TestBatcherErrorPropagates(t *testing.T) {
+	b := NewBatcher(2, time.Millisecond, 1, func(inputs [][]float64) ([][]float64, error) {
+		return nil, errTest
+	})
+	defer b.Close()
+	resp, err := b.Submit([]float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err == nil {
+		t.Error("executor error not propagated")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test executor failure" }
+
+func TestBatcherSubmitAfterClose(t *testing.T) {
+	b := NewBatcher(2, time.Millisecond, 1, echoExec)
+	b.Close()
+	if _, err := b.Submit([]float64{1}); err == nil {
+		t.Error("submit after close should fail")
+	}
+	b.Close() // idempotent
+}
+
+func TestBatcherConcurrentInstances(t *testing.T) {
+	var inFlight, peak int32
+	exec := func(inputs [][]float64) ([][]float64, error) {
+		n := atomic.AddInt32(&inFlight, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		atomic.AddInt32(&inFlight, -1)
+		return echoExec(inputs)
+	}
+	b := NewBatcher(1, time.Millisecond, 4, exec)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = b.Submit([]float64{1})
+		}()
+	}
+	wg.Wait()
+	if atomic.LoadInt32(&peak) < 2 {
+		t.Errorf("peak concurrent executions = %d, want >= 2 with 4 instances", peak)
+	}
+}
+
+func BenchmarkBatcherThroughput(b *testing.B) {
+	batcher := NewBatcher(32, 100*time.Microsecond, 4, echoExec)
+	defer batcher.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		in := []float64{1}
+		for pb.Next() {
+			if _, err := batcher.Submit(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

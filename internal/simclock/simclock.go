@@ -1,0 +1,158 @@
+// Package simclock is the discrete-event simulation kernel shared by the
+// cloud, lease, scheduler, and student-behavior simulators.
+//
+// Time is virtual and measured in hours (float64) from an arbitrary
+// epoch: the course simulation treats hour 0 as the start of week 1. An
+// event loop pops the earliest scheduled event, advances the clock to its
+// timestamp, and runs its callback; callbacks may schedule further events.
+// Everything runs on the caller's goroutine, so simulations are
+// deterministic by construction.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Hours is a duration or timestamp in simulated hours.
+type Hours = float64
+
+// Event is a scheduled callback.
+type Event struct {
+	At    Hours
+	Name  string // for tracing and test assertions
+	Run   func()
+	seq   int64 // tie-break so equal-time events run FIFO
+	index int   // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was cancelled or already executed.
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock owns virtual time and the pending-event queue. The zero value is
+// not usable; call New.
+type Clock struct {
+	now    Hours
+	queue  eventHeap
+	seq    int64
+	events int64 // total executed, for diagnostics
+}
+
+// New returns a clock at time 0 with an empty queue.
+func New() *Clock {
+	return &Clock{}
+}
+
+// Now returns the current virtual time in hours.
+func (c *Clock) Now() Hours { return c.now }
+
+// Executed returns the number of events run so far.
+func (c *Clock) Executed() int64 { return c.events }
+
+// Pending returns the number of events still queued.
+func (c *Clock) Pending() int { return len(c.queue) }
+
+// At schedules run at absolute time t. Scheduling in the past panics: that
+// is always a simulation bug, and silently clamping would corrupt results.
+func (c *Clock) At(t Hours, name string, run func()) *Event {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: event %q scheduled at %v, before now %v", name, t, c.now))
+	}
+	e := &Event{At: t, Name: name, Run: run, seq: c.seq}
+	c.seq++
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// After schedules run d hours from now.
+func (c *Clock) After(d Hours, name string, run func()) *Event {
+	return c.At(c.now+d, name, run)
+}
+
+// Cancel removes a pending event. Cancelling an executed or already
+// cancelled event is a no-op.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.index == -1 {
+		return
+	}
+	heap.Remove(&c.queue, e.index)
+	e.index = -1
+}
+
+// Step executes the next event, advancing the clock to its time. It
+// returns false when the queue is empty.
+func (c *Clock) Step() bool {
+	if len(c.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.queue).(*Event)
+	c.now = e.At
+	c.events++
+	e.Run()
+	return true
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is later than t, then advances the clock to exactly t.
+func (c *Clock) RunUntil(t Hours) {
+	for len(c.queue) > 0 && c.queue[0].At <= t {
+		c.Step()
+	}
+	if t > c.now {
+		c.now = t
+	}
+}
+
+// Run drains the queue completely and returns the final time.
+func (c *Clock) Run() Hours {
+	for c.Step() {
+	}
+	return c.now
+}
+
+// Every schedules run at t, t+interval, t+2*interval, ... until stop
+// returns true (checked after each execution). It returns the first event.
+func (c *Clock) Every(start, interval Hours, name string, run func(), stop func() bool) *Event {
+	if interval <= 0 {
+		panic("simclock: Every with non-positive interval")
+	}
+	var schedule func(t Hours) *Event
+	schedule = func(t Hours) *Event {
+		return c.At(t, name, func() {
+			run()
+			if stop == nil || !stop() {
+				schedule(c.now + interval)
+			}
+		})
+	}
+	return schedule(start)
+}

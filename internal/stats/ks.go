@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KSStatistic returns the two-sample Kolmogorov–Smirnov statistic: the
+// maximum absolute difference between the empirical CDFs of a and b. It is
+// the workhorse of the drift detectors in internal/monitor.
+func KSStatistic(a, b []float64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	var d float64
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		// Advance past every value equal to the current minimum on both
+		// sides before comparing CDFs, so ties do not create a spurious
+		// difference between the two empirical CDFs.
+		v := math.Min(sa[i], sb[j])
+		for i < len(sa) && sa[i] == v {
+			i++
+		}
+		for j < len(sb) && sb[j] == v {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// KSPValue approximates the asymptotic p-value for a two-sample KS
+// statistic d with sample sizes n and m (Kolmogorov distribution series).
+func KSPValue(d float64, n, m int) float64 {
+	if n == 0 || m == 0 || d <= 0 {
+		return 1
+	}
+	ne := float64(n) * float64(m) / float64(n+m)
+	lambda := (math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d
+	// Q_KS(lambda) = 2 * sum_{k>=1} (-1)^{k-1} exp(-2 k^2 lambda^2)
+	var sum float64
+	for k := 1; k <= 100; k++ {
+		term := 2 * math.Pow(-1, float64(k-1)) * math.Exp(-2*float64(k*k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-10 {
+			break
+		}
+	}
+	if sum < 0 {
+		return 0
+	}
+	if sum > 1 {
+		return 1
+	}
+	return sum
+}
+
+// PSI computes the Population Stability Index between a reference and a
+// current sample over nbins equal-width bins spanning the reference range.
+// Conventional thresholds: <0.1 stable, 0.1–0.25 moderate shift, >0.25
+// major shift. Empty bins are floored at epsilon to keep the sum finite.
+func PSI(reference, current []float64, nbins int) float64 {
+	if len(reference) == 0 || len(current) == 0 {
+		return 0
+	}
+	s := Summarize(reference)
+	lo, hi := s.Min, s.Max
+	if hi <= lo {
+		hi = lo + 1
+	}
+	refCounts, _ := Histogram(reference, nbins, lo, hi)
+	curCounts, _ := Histogram(current, nbins, lo, hi)
+	const epsilon = 1e-6
+	var psi float64
+	for i := 0; i < nbins; i++ {
+		p := math.Max(float64(refCounts[i])/float64(len(reference)), epsilon)
+		q := math.Max(float64(curCounts[i])/float64(len(current)), epsilon)
+		psi += (q - p) * math.Log(q/p)
+	}
+	return psi
+}

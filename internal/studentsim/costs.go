@@ -1,0 +1,66 @@
+package studentsim
+
+import (
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+// StudentCost prices one student's lab usage on a provider (edge rows
+// excluded, matching the paper's Fig. 2 note).
+func StudentCost(s StudentUsage, p cost.Provider) (float64, error) {
+	var total float64
+	for rowID, hours := range s.InstHours {
+		c, err := cost.LabRowCost(cost.LabUsage{
+			RowID:         rowID,
+			InstanceHours: hours,
+			FIPHours:      s.FIPHours[rowID],
+		}, p)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// StudentCosts prices every student, returning the per-student vector
+// behind Fig. 2.
+func StudentCosts(r *Result, p cost.Provider) ([]float64, error) {
+	out := make([]float64, len(r.Students))
+	for i, s := range r.Students {
+		c, err := StudentCost(s, p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// Fig2Stats are the distribution statistics §5 reports for Fig. 2.
+type Fig2Stats struct {
+	Provider     cost.Provider
+	Mean         float64
+	Max          float64
+	Expected     float64 // cost of the §3 expected durations
+	ExceedFrac   float64 // fraction of students above Expected
+	Distribution stats.Summary
+}
+
+// Fig2 computes the per-student cost distribution statistics against the
+// expected-usage baseline.
+func Fig2(r *Result, p cost.Provider, expected float64) (Fig2Stats, error) {
+	costs, err := StudentCosts(r, p)
+	if err != nil {
+		return Fig2Stats{}, err
+	}
+	sum := stats.Summarize(costs)
+	return Fig2Stats{
+		Provider:     p,
+		Mean:         sum.Mean,
+		Max:          sum.Max,
+		Expected:     expected,
+		ExceedFrac:   stats.FractionAbove(costs, expected),
+		Distribution: sum,
+	}, nil
+}

@@ -1,0 +1,41 @@
+package studentsim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/course"
+)
+
+// TestDiagnostics prints the simulated Table-1/Fig-2 statistics for
+// inspection with `go test -v -run Diagnostics`. It never fails; the
+// calibration assertions live in studentsim_test.go.
+func TestDiagnostics(t *testing.T) {
+	res, err := SimulateLabs(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := course.Paper()
+	t.Logf("total instance hours: sim %.0f vs paper %.0f (%+.1f%%)",
+		res.TotalInstanceHours(), paper.LabInstanceHours,
+		100*(res.TotalInstanceHours()-paper.LabInstanceHours)/paper.LabInstanceHours)
+	t.Logf("total FIP hours:      sim %.0f vs paper %.0f", res.TotalFIPHours(), paper.LabFIPHours)
+	for _, row := range course.Rows() {
+		target := row.TargetHours * float64(res.Config.Students)
+		got := res.RowInstanceHours[row.ID]
+		t.Logf("row %-16s sim %8.0f target %8.0f (%+.1f%%)", row.ID, got, target, 100*(got-target)/target)
+	}
+	for _, p := range []cost.Provider{cost.AWS, cost.GCP} {
+		expected := paper.ExpectedLabCostAWS
+		if p == cost.GCP {
+			expected = paper.ExpectedLabCostGCP
+		}
+		f, err := Fig2(res, p, expected)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("%s: mean=%.1f max=%.1f p50=%.1f p90=%.1f exceed=%.3f\n",
+			p, f.Mean, f.Max, f.Distribution.Median, f.Distribution.P90, f.ExceedFrac)
+	}
+}

@@ -1,0 +1,258 @@
+package studentsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/cost"
+	"repro/internal/course"
+)
+
+func simOnce(t *testing.T, seed uint64) *Result {
+	t.Helper()
+	res, err := SimulateLabs(Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLabTotalsMatchTable1(t *testing.T) {
+	res := simOnce(t, 1)
+	paper := course.Paper()
+	within(t, "total instance hours", res.TotalInstanceHours(), paper.LabInstanceHours, 0.02)
+	within(t, "total FIP hours", res.TotalFIPHours(), paper.LabFIPHours, 0.02)
+	for _, row := range course.Rows() {
+		target := row.TargetHours * float64(res.Config.Students)
+		within(t, "row "+row.ID, res.RowInstanceHours[row.ID], target, 0.06)
+	}
+}
+
+func TestLabTotalsStableAcrossSeeds(t *testing.T) {
+	paper := course.Paper()
+	for _, seed := range []uint64{2, 7, 42} {
+		res := simOnce(t, seed)
+		within(t, "total hours", res.TotalInstanceHours(), paper.LabInstanceHours, 0.03)
+	}
+}
+
+func TestDeterministicForSameSeed(t *testing.T) {
+	a := simOnce(t, 5)
+	b := simOnce(t, 5)
+	if a.TotalInstanceHours() != b.TotalInstanceHours() {
+		t.Fatal("same seed produced different totals")
+	}
+	for i := range a.Students {
+		for row, h := range a.Students[i].InstHours {
+			if b.Students[i].InstHours[row] != h {
+				t.Fatalf("student %d row %s differs", i, row)
+			}
+		}
+	}
+}
+
+func TestFig2StatisticsInBand(t *testing.T) {
+	res := simOnce(t, 1)
+	paper := course.Paper()
+
+	aws, err := Fig2(res, cost.AWS, paper.ExpectedLabCostAWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcp, err := Fig2(res, cost.GCP, paper.ExpectedLabCostGCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "mean cost AWS", aws.Mean, paper.LabCostPerStudentAWS, 0.05)
+	within(t, "mean cost GCP", gcp.Mean, paper.LabCostPerStudentGCP, 0.05)
+
+	// The long tail: the most expensive student lands in the paper's
+	// regime (≈5× the mean; paper max $665 AWS / $590 GCP).
+	if aws.Max < 380 || aws.Max > 900 {
+		t.Errorf("AWS max = %.0f, want the paper's long-tail regime [380, 900]", aws.Max)
+	}
+	if gcp.Max < 380 || gcp.Max > 900 {
+		t.Errorf("GCP max = %.0f, want [380, 900]", gcp.Max)
+	}
+	// Most students exceed the expected cost (paper: 75% / 73%).
+	if aws.ExceedFrac < 0.65 || aws.ExceedFrac > 0.90 {
+		t.Errorf("AWS exceedance = %.3f, want [0.65, 0.90]", aws.ExceedFrac)
+	}
+	if gcp.ExceedFrac < 0.62 || gcp.ExceedFrac > 0.88 {
+		t.Errorf("GCP exceedance = %.3f, want [0.62, 0.88]", gcp.ExceedFrac)
+	}
+}
+
+func TestReservedRowsTrackExpected(t *testing.T) {
+	// Fig 1b's point: lease-backed usage stays near slot-quantized
+	// expectations — per-student hours are multiples of the slot length.
+	res := simOnce(t, 1)
+	for _, row := range course.Rows() {
+		if !row.Reserved() {
+			continue
+		}
+		for _, s := range res.Students {
+			h := s.InstHours[row.ID]
+			if h == 0 {
+				continue
+			}
+			slots := h / row.SlotHours
+			if math.Abs(slots-math.Round(slots)) > 1e-9 {
+				t.Fatalf("row %s student %s hours %v not a slot multiple", row.ID, s.ID, h)
+			}
+		}
+	}
+}
+
+func TestVMRowsExceedExpected(t *testing.T) {
+	// Fig 1a's point: mean actual VM usage far exceeds the dashed
+	// expected durations.
+	res := simOnce(t, 1)
+	n := float64(res.Config.Students)
+	for _, row := range course.Rows() {
+		if row.Reserved() {
+			continue
+		}
+		perStudent := res.RowInstanceHours[row.ID] / n
+		expected := row.ExpectedHours * float64(row.VMsPerStudent)
+		if perStudent < 2*expected {
+			t.Errorf("row %s mean actual %.1f not ≫ expected %.1f", row.ID, perStudent, expected)
+		}
+	}
+}
+
+func TestSubstrateMeterAgreesWithBookkeeping(t *testing.T) {
+	// The discrete-event substrate (cloud + lease) must account the same
+	// hours as the simulator's own records: instances were really
+	// launched and deleted at the right virtual times.
+	res := simOnce(t, 3)
+	now := res.Clock.Now()
+	meterHours := res.Cloud.Meter().HoursByTag(now, cloud.UsageInstance, "lab")
+	for _, row := range course.Rows() {
+		got := meterHours[row.ID]
+		want := res.RowInstanceHours[row.ID]
+		// The meter can lag slightly when quota-blocked launches retried
+		// (delayed starts shorten metered windows).
+		if math.Abs(got-want)/want > 0.02 {
+			t.Errorf("row %s: meter %.0f vs bookkeeping %.0f", row.ID, got, want)
+		}
+	}
+	// No instances survive teardown.
+	running := res.Cloud.List(func(i *cloud.Instance) bool { return i.Running() })
+	if len(running) != 0 {
+		t.Errorf("%d instances still running after semester teardown", len(running))
+	}
+}
+
+func TestNoDoubleBookedLeases(t *testing.T) {
+	res := simOnce(t, 1)
+	for _, row := range course.Rows() {
+		if !row.Reserved() {
+			continue
+		}
+		rs := res.Lease.Reservations(row.Flavor.Name)
+		byNode := map[string][]float64{} // flattened (start, end) pairs
+		for _, r := range rs {
+			byNode[r.Node] = append(byNode[r.Node], r.Start, r.End)
+		}
+		for node, windows := range byNode {
+			for i := 0; i+1 < len(windows); i += 2 {
+				for j := i + 2; j+1 < len(windows); j += 2 {
+					if windows[i] < windows[j+1] && windows[j] < windows[i+1] {
+						t.Fatalf("node %s double-booked", node)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScalesWithEnrollment(t *testing.T) {
+	small, err := SimulateLabs(Config{Students: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := SimulateLabs(Config{Students: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := big.TotalInstanceHours() / small.TotalInstanceHours()
+	if ratio < 5 || ratio > 7 {
+		t.Errorf("hours ratio for 6x enrollment = %.2f, want ~6", ratio)
+	}
+}
+
+func TestProjectsMatchPaperTotals(t *testing.T) {
+	res := SimulateProjects(ProjectConfig{Seed: 1})
+	paper := course.Paper()
+	within(t, "project VM hours", res.Usage.TotalVMHours(), paper.ProjectVMHours, 0.01)
+	within(t, "project GPU hours", res.Usage.TotalGPUHours(), paper.ProjectGPUHours, 0.01)
+	if res.Usage.BMHours != paper.ProjectBMHours {
+		t.Errorf("BM hours = %v", res.Usage.BMHours)
+	}
+
+	awsCost, err := cost.ProjectCost(res.Usage, cost.AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcpCost, err := cost.ProjectCost(res.Usage, cost.GCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "project cost AWS", awsCost, paper.ProjectCostAWS, 0.08)
+	within(t, "project cost GCP", gcpCost, paper.ProjectCostGCP, 0.08)
+
+	// Per-group shares sum back to totals.
+	var vm float64
+	for _, g := range res.Groups {
+		for _, h := range g.VMHours {
+			vm += h
+		}
+	}
+	within(t, "per-group VM sum", vm, paper.ProjectVMHours, 0.001)
+}
+
+func TestHeadlinePerStudentCost(t *testing.T) {
+	// §5: labs + projects ≈ $250 per student (~$50k for the course).
+	labs := simOnce(t, 1)
+	projects := SimulateProjects(ProjectConfig{Seed: 1})
+	labAWS, err := StudentCosts(labs, cost.AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var labTotal float64
+	for _, c := range labAWS {
+		labTotal += c
+	}
+	projAWS, err := cost.ProjectCost(projects.Usage, cost.AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perStudent := (labTotal + projAWS) / float64(len(labAWS))
+	if perStudent < 225 || perStudent > 285 {
+		t.Errorf("headline per-student cost = $%.0f, want ≈$250", perStudent)
+	}
+	total := labTotal + projAWS
+	if total < 43000 || total > 55000 {
+		t.Errorf("course total = $%.0f, want ≈$50k", total)
+	}
+}
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero target", name)
+	}
+	if math.Abs(got-want)/want > tol {
+		t.Errorf("%s = %.1f, want %.1f (±%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+func BenchmarkSimulateLabs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateLabs(Config{Seed: uint64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package studentsim
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/course"
+)
+
+// meanCost runs the lab simulation under a behavior override and returns
+// the mean per-student AWS cost.
+func meanCost(t *testing.T, b *Behavior) float64 {
+	t.Helper()
+	res, err := SimulateLabs(Config{Seed: 4, Behavior: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Fig2(res, cost.AWS, course.Paper().ExpectedLabCostAWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Mean
+}
+
+func TestWhatIfPromptDeletionLowersCost(t *testing.T) {
+	baseline := meanCost(t, nil)
+	disciplined := meanCost(t, &Behavior{PromptDeleteFrac: 0.85})
+	if disciplined >= baseline {
+		t.Errorf("85%% prompt deletion ($%.0f) should beat baseline ($%.0f)", disciplined, baseline)
+	}
+}
+
+func TestWhatIfAutoTerminationFloor(t *testing.T) {
+	// DisableOverhang models the auto-terminating-VM policy Chameleon
+	// introduced after the course: cost drops to near the working-time
+	// floor while reserved (GPU) rows are untouched.
+	baseline := meanCost(t, nil)
+	auto := meanCost(t, &Behavior{DisableOverhang: true})
+	if auto >= baseline-10 {
+		t.Errorf("auto-termination ($%.0f) should cut well below baseline ($%.0f)", auto, baseline)
+	}
+	// Floor sanity: still above the pure GPU expected cost.
+	if auto < 70 {
+		t.Errorf("auto-terminated cost $%.0f implausibly low", auto)
+	}
+	// Reserved-row hours unchanged by the override.
+	res, err := SimulateLabs(Config{Seed: 4, Behavior: &Behavior{DisableOverhang: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SimulateLabs(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range course.Rows() {
+		if !row.Reserved() {
+			continue
+		}
+		if res.RowInstanceHours[row.ID] != base.RowInstanceHours[row.ID] {
+			t.Errorf("row %s reserved hours changed under VM-only override", row.ID)
+		}
+	}
+}
+
+func TestWhatIfHeavierTailRaisesMax(t *testing.T) {
+	run := func(sigma float64) float64 {
+		res, err := SimulateLabs(Config{Seed: 4, Behavior: &Behavior{NegligenceSigma: sigma}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Fig2(res, cost.AWS, course.Paper().ExpectedLabCostAWS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.Max
+	}
+	light := run(0.5)
+	heavy := run(2.0)
+	if heavy <= light {
+		t.Errorf("heavier tail max ($%.0f) should exceed lighter tail ($%.0f)", heavy, light)
+	}
+}
+
+func TestBehaviorDefaultsMatchCalibration(t *testing.T) {
+	// nil Behavior and an explicit all-defaults Behavior must agree.
+	a, err := SimulateLabs(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateLabs(Config{Seed: 6, Behavior: &Behavior{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalInstanceHours() != b.TotalInstanceHours() {
+		t.Error("zero-value Behavior diverges from nil Behavior")
+	}
+}

@@ -1,0 +1,169 @@
+// Package support models the course's human support infrastructure
+// (paper §2): a weekly instructor office hour plus two course-assistant
+// office hours, and an online Q&A forum that accumulated "over 700
+// discussion threads and more than 3,000 unique posts" across the
+// semester. The simulator generates per-week, per-unit forum activity
+// calibrated to those totals and estimates office-hour load, giving the
+// staffing side of the course a cost model to sit beside the compute
+// one.
+package support
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/course"
+	"repro/internal/stats"
+)
+
+// Paper ground truth (§2).
+const (
+	PaperThreads = 700
+	PaperPosts   = 3000
+	// StaffHoursPerWeek: one instructor hour + two assistant hours.
+	StaffHoursPerWeek = 3
+	// InstructionWeeks is when most content (and most questions) landed.
+	InstructionWeeks = 10
+	CourseWeeks      = 14
+)
+
+// Thread is one forum discussion.
+type Thread struct {
+	ID    string
+	Week  int
+	Unit  int    // 0 for logistics/project threads
+	Topic string // "lab", "project", "logistics"
+	// Posts counts the question plus answers and comments.
+	Posts int
+	// AnsweredByStaff marks threads resolved by instructor/assistants
+	// (vs peer answers).
+	AnsweredByStaff bool
+}
+
+// Config parameterizes the forum simulation.
+type Config struct {
+	Students int
+	Seed     uint64
+}
+
+// Result is a simulated semester of support activity.
+type Result struct {
+	Threads []Thread
+	// TotalPosts across all threads.
+	TotalPosts int
+	// ThreadsByWeek and ThreadsByUnit aggregate for reporting.
+	ThreadsByWeek map[int]int
+	ThreadsByUnit map[int]int
+	// StaffAnswerLoad is staff-answered threads per staffed hour, the
+	// utilization signal for "do we need more course assistants".
+	StaffAnswerLoad float64
+}
+
+// Simulate generates a semester of forum activity. Thread volume follows
+// the lab schedule: infrastructure-heavy units (2–5) generate the most
+// questions, and project weeks (11–14) shift to project threads. Rates
+// are calibrated so the expected totals land on the paper's 700 threads
+// and 3,000 posts for 191 students, and scale linearly with enrollment.
+func Simulate(cfg Config) *Result {
+	if cfg.Students == 0 {
+		cfg.Students = course.Enrollment
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return simulate(cfg)
+}
+
+// unitQuestionWeight reflects how question-prone each unit's lab was:
+// Kubernetes/IaC and distributed-training weeks dominate.
+var unitQuestionWeight = map[int]float64{
+	1: 0.5, 2: 1.6, 3: 1.8, 4: 1.4, 5: 1.3, 6: 1.1, 7: 0.8, 8: 0.6,
+}
+
+func simulate(cfg Config) *Result {
+	rng := stats.NewRNG(cfg.Seed*2654435761 + 7)
+	res := &Result{ThreadsByWeek: map[int]int{}, ThreadsByUnit: map[int]int{}}
+
+	// Calibration: expected thread count scales with enrollment.
+	// Σ weights = 9.1 over units + logistics (weeks 1-10) + project
+	// (weeks 11-14) chosen so E[threads] ≈ 700 at 191 students.
+	scale := float64(cfg.Students) / float64(course.Enrollment)
+	var weightSum float64
+	for _, w := range unitQuestionWeight {
+		weightSum += w
+	}
+	const logisticsShare = 0.12 // of unit threads
+	const projectThreads = 160.0
+	unitThreadTarget := (PaperThreads - projectThreads) / (1 + logisticsShare)
+
+	nextID := 0
+	addThread := func(week, unit int, topic string) {
+		nextID++
+		posts := 1 + int(rng.Exponential(float64(PaperPosts)/float64(PaperThreads)-1)+0.5)
+		th := Thread{
+			ID:              fmt.Sprintf("thread-%04d", nextID),
+			Week:            week,
+			Unit:            unit,
+			Topic:           topic,
+			Posts:           posts,
+			AnsweredByStaff: rng.Bool(0.7),
+		}
+		res.Threads = append(res.Threads, th)
+		res.TotalPosts += posts
+		res.ThreadsByWeek[week]++
+		res.ThreadsByUnit[unit]++
+	}
+
+	// Unit-lab threads during instruction weeks.
+	units := make([]int, 0, len(unitQuestionWeight))
+	for u := range unitQuestionWeight {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	for _, u := range units {
+		mean := unitThreadTarget * unitQuestionWeight[u] / weightSum * scale
+		n := int(mean + rng.Uniform(-0.05, 0.05)*mean + 0.5)
+		for i := 0; i < n; i++ {
+			week := u
+			if rng.Bool(0.25) {
+				week++ // stragglers ask the following week
+			}
+			addThread(week, u, "lab")
+		}
+	}
+	// Logistics threads spread over instruction weeks.
+	nLog := int((PaperThreads-projectThreads)*logisticsShare/(1+logisticsShare)*scale + 0.5)
+	for i := 0; i < nLog; i++ {
+		addThread(1+rng.Intn(InstructionWeeks), 0, "logistics")
+	}
+	// Project threads in the final weeks.
+	nProj := int(projectThreads*scale + 0.5)
+	for i := 0; i < nProj; i++ {
+		addThread(InstructionWeeks+1+rng.Intn(CourseWeeks-InstructionWeeks), 0, "project")
+	}
+
+	staffAnswered := 0
+	for _, th := range res.Threads {
+		if th.AnsweredByStaff {
+			staffAnswered++
+		}
+	}
+	res.StaffAnswerLoad = float64(staffAnswered) / (StaffHoursPerWeek * CourseWeeks)
+	return res
+}
+
+// Summary renders the support-load report for cmd/coursesim.
+func (r *Result) Summary() string {
+	out := fmt.Sprintf("forum: %d threads, %d posts (paper: >700, >3000)\n",
+		len(r.Threads), r.TotalPosts)
+	out += fmt.Sprintf("staff-answered threads per staffed office hour: %.1f\n", r.StaffAnswerLoad)
+	weeks := make([]int, 0, len(r.ThreadsByWeek))
+	for w := range r.ThreadsByWeek {
+		weeks = append(weeks, w)
+	}
+	sort.Ints(weeks)
+	for _, w := range weeks {
+		out += fmt.Sprintf("  week %2d: %3d threads\n", w, r.ThreadsByWeek[w])
+	}
+	return out
+}

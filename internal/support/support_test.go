@@ -1,0 +1,71 @@
+package support
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTotalsMatchPaper(t *testing.T) {
+	r := Simulate(Config{Seed: 1})
+	threads := float64(len(r.Threads))
+	if math.Abs(threads-PaperThreads)/PaperThreads > 0.08 {
+		t.Errorf("threads = %v, want ≈%d", threads, PaperThreads)
+	}
+	posts := float64(r.TotalPosts)
+	if math.Abs(posts-PaperPosts)/PaperPosts > 0.12 {
+		t.Errorf("posts = %v, want ≈%d", posts, PaperPosts)
+	}
+	// Every thread has at least the question post.
+	for _, th := range r.Threads {
+		if th.Posts < 1 {
+			t.Fatalf("thread %s has %d posts", th.ID, th.Posts)
+		}
+		if th.Week < 1 || th.Week > CourseWeeks+1 {
+			t.Fatalf("thread %s in week %d", th.ID, th.Week)
+		}
+	}
+}
+
+func TestActivityFollowsSchedule(t *testing.T) {
+	r := Simulate(Config{Seed: 2})
+	// Infrastructure-heavy unit 3 should out-question unit 8.
+	if r.ThreadsByUnit[3] <= r.ThreadsByUnit[8] {
+		t.Errorf("unit 3 threads (%d) not above unit 8 (%d)",
+			r.ThreadsByUnit[3], r.ThreadsByUnit[8])
+	}
+	// Project threads exist only after instruction ends.
+	for _, th := range r.Threads {
+		if th.Topic == "project" && th.Week <= InstructionWeeks {
+			t.Fatalf("project thread in week %d", th.Week)
+		}
+	}
+}
+
+func TestScalesWithEnrollment(t *testing.T) {
+	small := Simulate(Config{Students: 50, Seed: 3})
+	big := Simulate(Config{Students: 400, Seed: 3})
+	ratio := float64(len(big.Threads)) / float64(len(small.Threads))
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("thread ratio for 8x enrollment = %v", ratio)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Simulate(Config{Seed: 9})
+	b := Simulate(Config{Seed: 9})
+	if len(a.Threads) != len(b.Threads) || a.TotalPosts != b.TotalPosts {
+		t.Error("same seed diverged")
+	}
+}
+
+func TestSummaryRenders(t *testing.T) {
+	r := Simulate(Config{Seed: 1})
+	s := r.Summary()
+	if !strings.Contains(s, "threads") || !strings.Contains(s, "week") {
+		t.Errorf("summary: %q", s)
+	}
+	if r.StaffAnswerLoad <= 0 {
+		t.Error("staff load not computed")
+	}
+}

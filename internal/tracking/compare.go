@@ -1,0 +1,113 @@
+package tracking
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The Unit-5 lab has students use the tracking UI to "identify training
+// bottlenecks [and] compare experiment results". This file provides the
+// query-side equivalents: tabular run comparison and a bottleneck
+// heuristic over logged system metrics.
+
+// CompareRuns builds a comparison table for the given runs: one row per
+// run with its parameters and the last value of each requested metric.
+// The first returned row is the header. Missing params/metrics render as
+// "-".
+func (s *Store) CompareRuns(runIDs []string, metrics []string) ([][]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Collect the union of parameter names for stable columns.
+	paramSet := map[string]bool{}
+	runs := make([]*Run, 0, len(runIDs))
+	for _, id := range runIDs {
+		r, ok := s.runs[id]
+		if !ok {
+			return nil, fmt.Errorf("%w: run %q", ErrNotFound, id)
+		}
+		runs = append(runs, r)
+		for p := range r.Params {
+			paramSet[p] = true
+		}
+	}
+	params := make([]string, 0, len(paramSet))
+	for p := range paramSet {
+		params = append(params, p)
+	}
+	sort.Strings(params)
+
+	header := append([]string{"run", "status"}, params...)
+	header = append(header, metrics...)
+	out := [][]string{header}
+	for _, r := range runs {
+		row := []string{r.Name, string(r.Status)}
+		for _, p := range params {
+			v, ok := r.Params[p]
+			if !ok {
+				v = "-"
+			}
+			row = append(row, v)
+		}
+		for _, m := range metrics {
+			if v, ok := r.LastMetric(m); ok {
+				row = append(row, fmt.Sprintf("%.4g", v))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Bottleneck is the verdict of AnalyzeBottleneck.
+type Bottleneck string
+
+// Bottleneck classes, following the heuristic taught in the lab: compare
+// accelerator utilization with data-loading stall share.
+const (
+	BottleneckGPU     Bottleneck = "compute-bound" // high GPU utilization: scale out or shrink the model
+	BottleneckData    Bottleneck = "input-bound"   // low GPU, high dataloader wait: add workers/caching
+	BottleneckComm    Bottleneck = "comm-bound"    // low GPU, high all-reduce share: overlap or compress
+	BottleneckUnknown Bottleneck = "underutilized" // low everything: batch size or CPU-side code
+)
+
+// AnalyzeBottleneck inspects a run's logged system metrics
+// ("gpu_util" in [0,1], "data_wait_frac", "comm_frac") and classifies
+// the dominant bottleneck, returning the verdict and a one-line
+// recommendation.
+func (s *Store) AnalyzeBottleneck(runID string) (Bottleneck, string, error) {
+	s.mu.Lock()
+	r, ok := s.runs[runID]
+	s.mu.Unlock()
+	if !ok {
+		return "", "", fmt.Errorf("%w: run %q", ErrNotFound, runID)
+	}
+	mean := func(name string) (float64, bool) {
+		pts := r.Metrics[name]
+		if len(pts) == 0 {
+			return 0, false
+		}
+		var sum float64
+		for _, p := range pts {
+			sum += p.Value
+		}
+		return sum / float64(len(pts)), true
+	}
+	gpu, okG := mean("gpu_util")
+	if !okG {
+		return "", "", fmt.Errorf("%w: metric gpu_util in run %s", ErrNoMetric, runID)
+	}
+	dataWait, _ := mean("data_wait_frac")
+	commFrac, _ := mean("comm_frac")
+	switch {
+	case gpu >= 0.8:
+		return BottleneckGPU, "accelerator saturated: scale out, enlarge batch, or reduce model cost", nil
+	case dataWait >= 0.3 && dataWait >= commFrac:
+		return BottleneckData, "input pipeline stalls the accelerator: add loader workers, prefetch, or cache", nil
+	case commFrac >= 0.3:
+		return BottleneckComm, "gradient communication dominates: overlap with backward pass or reduce payload", nil
+	default:
+		return BottleneckUnknown, "no single dominant stall: profile CPU-side step code and batch size", nil
+	}
+}

@@ -1,0 +1,206 @@
+package tracking
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Server exposes a Store over HTTP with a small REST API, the analogue of
+// the MLflow tracking server UI/REST endpoint the lab deploys:
+//
+//	POST /api/experiments            {"name": ...}
+//	POST /api/runs                   {"experiment_id": ..., "name": ...}
+//	POST /api/runs/{id}/params       {"key": ..., "value": ...}
+//	POST /api/runs/{id}/metrics      {"key": ..., "step": n, "value": x}
+//	POST /api/runs/{id}/end          {"status": "FINISHED"|"FAILED"}
+//	GET  /api/runs/{id}
+//	GET  /api/experiments/{id}/runs
+//	POST /api/models/{name}/versions {"run_id": ..., "artifact_path": ...}
+//	POST /api/models/{name}/versions/{v}/stage {"stage": ...}
+//	GET  /api/models/{name}/latest?stage=Production
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+}
+
+// NewServer wraps a store in an HTTP handler.
+func NewServer(store *Store) *Server {
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /api/experiments", s.createExperiment)
+	s.mux.HandleFunc("POST /api/runs", s.startRun)
+	s.mux.HandleFunc("POST /api/runs/{id}/params", s.logParam)
+	s.mux.HandleFunc("POST /api/runs/{id}/metrics", s.logMetric)
+	s.mux.HandleFunc("POST /api/runs/{id}/end", s.endRun)
+	s.mux.HandleFunc("GET /api/runs/{id}", s.getRun)
+	s.mux.HandleFunc("GET /api/experiments/{id}/runs", s.listRuns)
+	s.mux.HandleFunc("POST /api/models/{name}/versions", s.createVersion)
+	s.mux.HandleFunc("POST /api/models/{name}/versions/{v}/stage", s.transition)
+	s.mux.HandleFunc("GET /api/models/{name}/latest", s.latest)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrFinished), errors.Is(err, ErrBadStage), errors.Is(err, ErrDuplicate):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func decode[T any](r *http.Request) (T, error) {
+	var v T
+	err := json.NewDecoder(r.Body).Decode(&v)
+	return v, err
+}
+
+func (s *Server) createExperiment(w http.ResponseWriter, r *http.Request) {
+	body, err := decode[struct {
+		Name string `json:"name"`
+	}](r)
+	if err != nil {
+		writeErr(w, fmt.Errorf("tracking: bad request body: %w", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.CreateExperiment(body.Name))
+}
+
+func (s *Server) startRun(w http.ResponseWriter, r *http.Request) {
+	body, err := decode[struct {
+		ExperimentID string `json:"experiment_id"`
+		Name         string `json:"name"`
+	}](r)
+	if err != nil {
+		writeErr(w, fmt.Errorf("tracking: bad request body: %w", err))
+		return
+	}
+	run, err := s.store.StartRun(body.ExperimentID, body.Name)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, run)
+}
+
+func (s *Server) logParam(w http.ResponseWriter, r *http.Request) {
+	body, err := decode[struct{ Key, Value string }](r)
+	if err != nil {
+		writeErr(w, fmt.Errorf("tracking: bad request body: %w", err))
+		return
+	}
+	if err := s.store.LogParam(r.PathValue("id"), body.Key, body.Value); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) logMetric(w http.ResponseWriter, r *http.Request) {
+	body, err := decode[struct {
+		Key   string  `json:"key"`
+		Step  int     `json:"step"`
+		Value float64 `json:"value"`
+	}](r)
+	if err != nil {
+		writeErr(w, fmt.Errorf("tracking: bad request body: %w", err))
+		return
+	}
+	if err := s.store.LogMetric(r.PathValue("id"), body.Key, body.Step, body.Value); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) endRun(w http.ResponseWriter, r *http.Request) {
+	body, err := decode[struct {
+		Status RunStatus `json:"status"`
+	}](r)
+	if err != nil {
+		writeErr(w, fmt.Errorf("tracking: bad request body: %w", err))
+		return
+	}
+	if body.Status == "" {
+		body.Status = StatusFinished
+	}
+	if err := s.store.EndRun(r.PathValue("id"), body.Status); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) getRun(w http.ResponseWriter, r *http.Request) {
+	run, err := s.store.GetRun(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, run)
+}
+
+func (s *Server) listRuns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.store.SearchRuns(r.PathValue("id"), nil))
+}
+
+func (s *Server) createVersion(w http.ResponseWriter, r *http.Request) {
+	body, err := decode[struct {
+		RunID        string `json:"run_id"`
+		ArtifactPath string `json:"artifact_path"`
+	}](r)
+	if err != nil {
+		writeErr(w, fmt.Errorf("tracking: bad request body: %w", err))
+		return
+	}
+	v, err := s.store.CreateModelVersion(r.PathValue("name"), body.RunID, body.ArtifactPath)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) transition(w http.ResponseWriter, r *http.Request) {
+	body, err := decode[struct {
+		Stage Stage `json:"stage"`
+	}](r)
+	if err != nil {
+		writeErr(w, fmt.Errorf("tracking: bad request body: %w", err))
+		return
+	}
+	ver, err := strconv.Atoi(r.PathValue("v"))
+	if err != nil {
+		writeErr(w, fmt.Errorf("tracking: bad version: %w", err))
+		return
+	}
+	v, err := s.store.TransitionStage(r.PathValue("name"), ver, body.Stage)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) latest(w http.ResponseWriter, r *http.Request) {
+	stage := Stage(r.URL.Query().Get("stage"))
+	v, err := s.store.LatestVersion(r.PathValue("name"), stage)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}

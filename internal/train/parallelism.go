@@ -1,0 +1,240 @@
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+)
+
+// The Unit-5 lecture's case study is the OPT-175B training run; this file
+// extends the estimator to the 3D-parallel regime those jobs need:
+// tensor (model) parallelism inside a node, pipeline parallelism across
+// nodes, and data parallelism across pipeline replicas.
+
+// OPT175B approximates the 175-billion-parameter decoder from the case
+// study (96 layers, 12288 hidden).
+func OPT175B() ModelSpec {
+	return ModelSpec{Name: "opt-175b", Params: 175e9, Layers: 96, Hidden: 12288, VocabSize: 50272}
+}
+
+// Topology describes a 3D-parallel layout. Total GPUs = Tensor ×
+// Pipeline × Data.
+type Topology struct {
+	Tensor   int // intra-node tensor/model parallel degree
+	Pipeline int // pipeline stages
+	Data     int // data-parallel replicas
+}
+
+// GPUs returns the total device count.
+func (t Topology) GPUs() int { return t.Tensor * t.Pipeline * t.Data }
+
+func (t Topology) String() string {
+	return fmt.Sprintf("TP=%d PP=%d DP=%d (%d GPUs)", t.Tensor, t.Pipeline, t.Data, t.GPUs())
+}
+
+// validateTopology normalizes zero fields to 1 and rejects non-positive
+// degrees.
+func (t Topology) normalized() (Topology, error) {
+	if t.Tensor == 0 {
+		t.Tensor = 1
+	}
+	if t.Pipeline == 0 {
+		t.Pipeline = 1
+	}
+	if t.Data == 0 {
+		t.Data = 1
+	}
+	if t.Tensor < 0 || t.Pipeline < 0 || t.Data < 0 {
+		return t, fmt.Errorf("train: negative parallel degree in %v", t)
+	}
+	return t, nil
+}
+
+// PlanMemory3D extends the memory plan to a 3D topology: tensor and
+// pipeline parallelism shard weights/grads/optimizer across Tensor ×
+// Pipeline devices; activations shard across tensor ranks and, with
+// checkpointing, per pipeline stage; ZeRO further divides the optimizer
+// states across data-parallel replicas.
+func PlanMemory3D(m ModelSpec, c Config, topo Topology) (MemoryPlan, error) {
+	topo, err := topo.normalized()
+	if err != nil {
+		return MemoryPlan{}, err
+	}
+	modelShards := float64(topo.Tensor * topo.Pipeline)
+
+	// Start from the single-device plan without ZeRO, then shard.
+	base := c
+	base.ZeROStage = 0
+	base.DataParallel = 1
+	plan := PlanMemory(m, base)
+
+	plan.WeightsGB /= modelShards
+	plan.GradientsGB /= modelShards
+	plan.OptimizerGB /= modelShards
+	if c.ZeROStage >= 1 && topo.Data > 1 {
+		plan.OptimizerGB /= float64(topo.Data)
+	}
+	// Activations shard across tensor ranks; each pipeline stage holds
+	// only its layers' activations.
+	plan.ActivationsGB /= float64(topo.Tensor * topo.Pipeline)
+
+	dynamic := plan.WeightsGB + plan.GradientsGB + plan.OptimizerGB + plan.ActivationsGB
+	plan.OverheadGB = 1.5 + 0.05*dynamic
+	plan.TotalGB = dynamic + plan.OverheadGB
+	return plan, nil
+}
+
+// Estimate3D predicts step time under a 3D topology. Model: compute
+// divides across all GPUs at reduced efficiency per parallelism kind;
+// tensor parallelism all-reduces activations every layer (intra-node
+// NVLink); pipeline parallelism adds a bubble of (stages−1)/microbatches;
+// data parallelism all-reduces gradients over the cross-node fabric.
+func Estimate3D(m ModelSpec, c Config, gpu GPUProfile, topo Topology,
+	intraNode, interNode collective.CostModel) (StepEstimate, error) {
+
+	topo, err := topo.normalized()
+	if err != nil {
+		return StepEstimate{}, err
+	}
+	if c.Precision == BF16 && !gpu.HasBF16 {
+		return StepEstimate{}, fmt.Errorf("train: %s lacks bf16 support", gpu.Name)
+	}
+	flops := gpu.TFLOPS[c.Precision] * 1e12 * mfu
+	if flops <= 0 {
+		return StepEstimate{}, fmt.Errorf("train: %s has no %s throughput", gpu.Name, c.Precision)
+	}
+	if c.MicroBatch <= 0 {
+		c.MicroBatch = 1
+	}
+	if c.SeqLen <= 0 {
+		c.SeqLen = 2048
+	}
+	accum := c.GradAccumSteps
+	if accum <= 0 {
+		accum = 1
+	}
+
+	flopsPerToken := 6 * m.Params
+	if c.GradCheckpoint {
+		flopsPerToken += 2 * m.Params
+	}
+	tokensPerStep := float64(c.MicroBatch) * float64(c.SeqLen) * float64(accum) * float64(topo.Data)
+	idealCompute := flopsPerToken * tokensPerStep / (flops * float64(topo.GPUs()))
+
+	// Pipeline bubble: with M micro-batches per step and S stages,
+	// utilization is M/(M+S−1).
+	micro := float64(accum)
+	stages := float64(topo.Pipeline)
+	bubble := (micro + stages - 1) / micro
+	compute := idealCompute * bubble
+
+	// Tensor parallelism: ~4 all-reduces of the activation tensor per
+	// layer (2 fwd + 2 bwd) over the intra-node fabric.
+	var tpComm float64
+	if topo.Tensor > 1 {
+		actBytes := float64(c.MicroBatch) * float64(c.SeqLen) * float64(m.Hidden) * c.Precision.Bytes()
+		tpComm = 4 * float64(m.Layers) * intraNode.Ring(topo.Tensor, actBytes) * micro
+	}
+	// Pipeline: point-to-point activation sends between stages.
+	var ppComm float64
+	if topo.Pipeline > 1 {
+		actBytes := float64(c.MicroBatch) * float64(c.SeqLen) * float64(m.Hidden) * c.Precision.Bytes()
+		ppComm = 2 * (stages - 1) * (interNode.Alpha + actBytes*interNode.Beta) * micro
+	}
+	// Data parallelism: gradient all-reduce of this rank's weight shard.
+	var dpComm float64
+	if topo.Data > 1 {
+		shardBytes := m.Params * c.Precision.Bytes() / float64(topo.Tensor*topo.Pipeline)
+		dpComm = interNode.Ring(topo.Data, shardBytes)
+	}
+	exposed := (tpComm+ppComm)*0.5 + dpComm*(1-commOverlap)
+
+	step := compute + exposed
+	est := StepEstimate{
+		ComputeSeconds: compute,
+		CommSeconds:    exposed,
+		StepSeconds:    step,
+		TokensPerSec:   tokensPerStep / step,
+	}
+	ideal := flopsPerToken * tokensPerStep / flops / float64(topo.GPUs())
+	est.ScalingEfficiency = ideal / step
+	if est.ScalingEfficiency > 1 {
+		est.ScalingEfficiency = 1
+	}
+	return est, nil
+}
+
+// FeasibleTopologies enumerates 3D layouts for nGPUs whose per-GPU
+// memory plan fits the device, sorted by predicted tokens/sec
+// descending — "which layout should I train with", the question the
+// Unit-5 lecture builds to.
+func FeasibleTopologies(m ModelSpec, c Config, gpu GPUProfile, nGPUs, gpusPerNode int,
+	intraNode, interNode collective.CostModel) ([]TopologyPlan, error) {
+
+	var out []TopologyPlan
+	for tp := 1; tp <= gpusPerNode; tp *= 2 {
+		for pp := 1; pp <= nGPUs/tp; pp *= 2 {
+			if nGPUs%(tp*pp) != 0 {
+				continue
+			}
+			dp := nGPUs / (tp * pp)
+			topo := Topology{Tensor: tp, Pipeline: pp, Data: dp}
+			plan, err := PlanMemory3D(m, c, topo)
+			if err != nil {
+				return nil, err
+			}
+			if !plan.Fits(gpu.MemGB) {
+				continue
+			}
+			est, err := Estimate3D(m, c, gpu, topo, intraNode, interNode)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, TopologyPlan{Topology: topo, Memory: plan, Step: est})
+		}
+	}
+	sortTopologyPlans(out)
+	return out, nil
+}
+
+// TopologyPlan bundles a layout with its memory and throughput estimates.
+type TopologyPlan struct {
+	Topology Topology
+	Memory   MemoryPlan
+	Step     StepEstimate
+}
+
+func sortTopologyPlans(plans []TopologyPlan) {
+	for i := 1; i < len(plans); i++ {
+		for j := i; j > 0 && plans[j].Step.TokensPerSec > plans[j-1].Step.TokensPerSec; j-- {
+			plans[j], plans[j-1] = plans[j-1], plans[j]
+		}
+	}
+}
+
+// MinGPUsFor returns the smallest power-of-two GPU count at which any
+// topology fits the model in memory (brute force up to maxGPUs).
+func MinGPUsFor(m ModelSpec, c Config, gpu GPUProfile, gpusPerNode, maxGPUs int,
+	intraNode, interNode collective.CostModel) (int, error) {
+	for n := 1; n <= maxGPUs; n *= 2 {
+		plans, err := FeasibleTopologies(m, c, gpu, n, gpusPerNode, intraNode, interNode)
+		if err != nil {
+			return 0, err
+		}
+		if len(plans) > 0 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("train: %s does not fit on %d %s GPUs with any topology",
+		m.Name, maxGPUs, gpu.Name)
+}
+
+// TrainingDays estimates wall-clock days to process tokens with the
+// given step estimate.
+func TrainingDays(est StepEstimate, tokens float64) float64 {
+	if est.TokensPerSec <= 0 {
+		return math.Inf(1)
+	}
+	return tokens / est.TokensPerSec / 86400
+}

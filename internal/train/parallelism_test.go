@@ -1,0 +1,142 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+)
+
+func bf16Full() Config {
+	return Config{Precision: BF16, Optimizer: AdamW, MicroBatch: 1, SeqLen: 2048,
+		GradCheckpoint: true, GradAccumSteps: 8}
+}
+
+func TestOPT175BNeedsManyGPUs(t *testing.T) {
+	// The case study's point: a 175B model cannot fit on one node even
+	// sharded eight ways, and needs a large cluster.
+	intra, inter := collective.NVLinkCostModel(), collective.DefaultCostModel()
+	n, err := MinGPUsFor(OPT175B(), bf16Full(), A100_80, 8, 4096, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 32 {
+		t.Errorf("OPT-175B min GPUs = %d, expected a multi-node cluster (>=32)", n)
+	}
+	// And a 13B model needs at most a handful.
+	n13, err := MinGPUsFor(Llama13B(), bf16Full(), A100_80, 8, 64, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n13 > 8 {
+		t.Errorf("13B min GPUs = %d, expected a single node", n13)
+	}
+}
+
+func TestPlanMemory3DSharding(t *testing.T) {
+	cfg := bf16Full()
+	single := PlanMemory(OPT175B(), Config{Precision: BF16, Optimizer: AdamW,
+		MicroBatch: 1, SeqLen: 2048, GradCheckpoint: true, GradAccumSteps: 8})
+	sharded, err := PlanMemory3D(OPT175B(), cfg, Topology{Tensor: 8, Pipeline: 8, Data: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weights shard ~64x (TP×PP).
+	if sharded.WeightsGB > single.WeightsGB/60 {
+		t.Errorf("3D weights %.1f GB vs single %.1f GB: sharding too weak",
+			sharded.WeightsGB, single.WeightsGB)
+	}
+	if !sharded.Fits(A100_80.MemGB) {
+		t.Errorf("OPT-175B on 128 GPUs should fit per-GPU: %s", sharded)
+	}
+	// ZeRO-1 across DP further shrinks optimizer state.
+	z1 := cfg
+	z1.ZeROStage = 1
+	withZero, err := PlanMemory3D(OPT175B(), z1, Topology{Tensor: 8, Pipeline: 8, Data: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withZero.OptimizerGB >= sharded.OptimizerGB {
+		t.Error("ZeRO-1 did not shrink optimizer memory across DP")
+	}
+}
+
+func TestTopologyNormalization(t *testing.T) {
+	topo, err := (Topology{}).normalized()
+	if err != nil || topo.GPUs() != 1 {
+		t.Errorf("zero topology: %+v, %v", topo, err)
+	}
+	if _, err := (Topology{Tensor: -1}).normalized(); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if s := (Topology{Tensor: 2, Pipeline: 4, Data: 8}).String(); s == "" {
+		t.Error("empty topology string")
+	}
+}
+
+func TestEstimate3DPipelineBubble(t *testing.T) {
+	// More pipeline stages with few micro-batches => bigger bubble =>
+	// lower throughput at fixed GPU count.
+	cfg := bf16Full()
+	cfg.GradAccumSteps = 4
+	intra, inter := collective.NVLinkCostModel(), collective.DefaultCostModel()
+	flat, err := Estimate3D(OPT175B(), cfg, A100_80, Topology{Tensor: 8, Pipeline: 2, Data: 8}, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := Estimate3D(OPT175B(), cfg, A100_80, Topology{Tensor: 8, Pipeline: 16, Data: 1}, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep.TokensPerSec >= flat.TokensPerSec {
+		t.Errorf("16-stage pipeline (%.0f tok/s) should not beat 2-stage (%.0f tok/s) at 4 micro-batches",
+			deep.TokensPerSec, flat.TokensPerSec)
+	}
+}
+
+func TestFeasibleTopologiesSorted(t *testing.T) {
+	intra, inter := collective.NVLinkCostModel(), collective.DefaultCostModel()
+	plans, err := FeasibleTopologies(OPT175B(), bf16Full(), A100_80, 256, 8, intra, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) == 0 {
+		t.Fatal("no feasible topology for OPT-175B on 256 A100s")
+	}
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Step.TokensPerSec > plans[i-1].Step.TokensPerSec {
+			t.Fatal("plans not sorted by throughput")
+		}
+	}
+	for _, p := range plans {
+		if p.Topology.GPUs() != 256 {
+			t.Errorf("topology %v does not use 256 GPUs", p.Topology)
+		}
+		if !p.Memory.Fits(A100_80.MemGB) {
+			t.Errorf("infeasible plan returned: %v", p.Topology)
+		}
+	}
+}
+
+func TestTrainingDays(t *testing.T) {
+	est := StepEstimate{TokensPerSec: 1e6}
+	// 300B tokens at 1M tok/s ≈ 3.47 days.
+	days := TrainingDays(est, 300e9)
+	if days < 3 || days > 4 {
+		t.Errorf("training days = %v", days)
+	}
+	if d := TrainingDays(StepEstimate{}, 1); !isInf(d) {
+		t.Errorf("zero throughput days = %v", d)
+	}
+}
+
+func isInf(f float64) bool { return f > 1e300 }
+
+func BenchmarkFeasibleTopologies(b *testing.B) {
+	intra, inter := collective.NVLinkCostModel(), collective.DefaultCostModel()
+	cfg := bf16Full()
+	for i := 0; i < b.N; i++ {
+		if _, err := FeasibleTopologies(OPT175B(), cfg, A100_80, 512, 8, intra, inter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package mlsysops_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pkg/mlsysops"
+)
+
+// ExamplePlanner_Run reproduces the paper's headline numbers with the
+// default (paper-calibrated) configuration.
+func ExamplePlanner_Run() {
+	summary, err := mlsysops.Planner{}.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("lab instance hours: %.0f\n", summary.LabInstanceHours)
+	fmt.Printf("lab cost: $%.0f AWS / $%.0f GCP\n", summary.LabCostAWS, summary.LabCostGCP)
+	fmt.Printf("per student (labs+projects): $%.0f AWS\n", summary.PerStudentAWS)
+	// Output:
+	// lab instance hours: 109834
+	// lab cost: $23718 AWS / $21144 GCP
+	// per student (labs+projects): $256 AWS
+}
+
+// ExampleSimulateLabs shows per-row usage for a single Table-1 row.
+func ExampleSimulateLabs() {
+	labs, err := mlsysops.SimulateLabs(mlsysops.LabConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("assignment 8 instance hours: %.0f\n", labs.RowInstanceHours["8"])
+	fmt.Printf("students simulated: %d\n", len(labs.Students))
+	// Output:
+	// assignment 8 instance hours: 8693
+	// students simulated: 191
+}
+
+// ExamplePlanReservations sizes GPU pools for the paper's enrollment.
+func ExamplePlanReservations() {
+	for _, p := range mlsysops.PlanReservations(mlsysops.Enrollment)[:2] {
+		fmt.Printf("%s week %d: %d nodes\n", p.NodeType, p.Week, p.Nodes)
+	}
+	// Output:
+	// gpu_a100_pcie week 4: 2 nodes
+	// gpu_v100 week 4: 2 nodes
+}

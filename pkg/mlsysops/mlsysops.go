@@ -1,0 +1,163 @@
+// Package mlsysops is the public API of the reproduction of "The Cost of
+// Teaching Operational ML" (SC Workshops '25): a simulator of a
+// 191-student ML-systems course running on a Chameleon-style research
+// testbed, together with the MLOps substrate the course teaches and the
+// commercial-cloud cost model behind the paper's Table 1 and Figs. 1–3.
+//
+// # Quick start
+//
+//	summary, err := mlsysops.Planner{}.Run()
+//	// summary.LabInstanceHours  ≈ 109,837
+//	// summary.PerStudentAWS     ≈ $250 (labs + projects)
+//
+// The facade re-exports the building blocks so downstream users can
+// compose their own experiments: the course catalog (Rows, Paper), the
+// usage simulator (SimulateLabs, SimulateProjects), the cost model
+// (LabCost, ProjectCost), the capacity planner (PeakConcurrency,
+// PlanReservations), and renderers for the paper's tables and figures.
+//
+// The substrate packages the course exercises — the IaaS simulator,
+// lease system, schedulers, collectives, training/serving models,
+// tracking server, CI/CD, monitoring, and data systems — live under
+// internal/ and are demonstrated by the runnable programs in examples/.
+package mlsysops
+
+import (
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/course"
+	"repro/internal/report"
+	"repro/internal/studentsim"
+	"repro/internal/support"
+)
+
+// Planner configures and runs a full course simulation. The zero value
+// reproduces the paper (191 students, seed 1, 52 project groups).
+type Planner = core.Planner
+
+// Summary is a complete simulated course offering with commercial-cloud
+// pricing attached.
+type Summary = core.Summary
+
+// Course catalog.
+type (
+	// Row is one Table-1 (assignment, instance type) pair.
+	Row = course.Row
+	// PaperTotals holds the published §5 ground truth.
+	PaperTotals = course.PaperTotals
+)
+
+// Rows returns the full Table-1 catalog.
+func Rows() []Row { return course.Rows() }
+
+// Paper returns the published numbers for comparison.
+func Paper() PaperTotals { return course.Paper() }
+
+// Enrollment is the paper's head count (191).
+const Enrollment = course.Enrollment
+
+// Usage simulation.
+type (
+	// LabConfig parameterizes the guided-lab phase.
+	LabConfig = studentsim.Config
+	// LabResult is a finished lab-phase simulation.
+	LabResult = studentsim.Result
+	// ProjectConfig parameterizes the project phase.
+	ProjectConfig = studentsim.ProjectConfig
+	// ProjectResult is a generated project phase.
+	ProjectResult = studentsim.ProjectResult
+	// Fig2Stats are the per-student cost distribution statistics.
+	Fig2Stats = studentsim.Fig2Stats
+	// Behavior exposes the calibrated student-behavior knobs for
+	// what-if analysis (prompt deletion, negligence tail, overhang).
+	Behavior = studentsim.Behavior
+)
+
+// SimulateLabs runs the guided-lab phase on a fresh IaaS substrate.
+func SimulateLabs(cfg LabConfig) (*LabResult, error) { return studentsim.SimulateLabs(cfg) }
+
+// SimulateProjects generates the open-ended project phase.
+func SimulateProjects(cfg ProjectConfig) *ProjectResult { return studentsim.SimulateProjects(cfg) }
+
+// Cost model.
+type (
+	// Provider selects AWS or GCP.
+	Provider = cost.Provider
+	// LabUsage is metered consumption for one Table-1 row.
+	LabUsage = cost.LabUsage
+	// ProjectUsage aggregates the project phase.
+	ProjectUsage = cost.ProjectUsage
+)
+
+// Providers.
+const (
+	AWS = cost.AWS
+	GCP = cost.GCP
+)
+
+// LabCost prices lab usage on a provider.
+func LabCost(usages []LabUsage, p Provider) (float64, error) { return cost.LabCost(usages, p) }
+
+// ProjectCost prices project usage on a provider.
+func ProjectCost(u ProjectUsage, p Provider) (float64, error) { return cost.ProjectCost(u, p) }
+
+// StudentCosts prices each simulated student's labs (Fig. 2 input).
+func StudentCosts(r *LabResult, p Provider) ([]float64, error) {
+	return studentsim.StudentCosts(r, p)
+}
+
+// Capacity planning.
+type (
+	// PeakUsage is maximum simultaneous consumption.
+	PeakUsage = core.PeakUsage
+	// ReservationPlan is one node type's weekly pool arrangement.
+	ReservationPlan = core.ReservationPlan
+	// Quota caps simultaneous project resources.
+	Quota = cloud.Quota
+)
+
+// PeakConcurrency sweeps a lab run's meter for peak simultaneous usage.
+func PeakConcurrency(labs *LabResult) PeakUsage { return core.PeakConcurrency(labs) }
+
+// QuotaCheck renders a per-dimension verdict of peak usage vs a quota.
+func QuotaCheck(peak PeakUsage, q Quota) []string { return core.QuotaCheck(peak, q) }
+
+// PlanReservations sizes weekly GPU pools for an enrollment.
+func PlanReservations(students int) []ReservationPlan { return core.PlanReservations(students) }
+
+// CourseQuota returns the quota increase the paper's instructors
+// requested.
+func CourseQuota() Quota { return cloud.CourseQuota() }
+
+// RecommendQuota simulates a course at the given enrollment and sizes a
+// site quota to its peak concurrency plus headroom (default 1.5).
+func RecommendQuota(students int, headroom float64) (Quota, PeakUsage, error) {
+	return core.RecommendQuota(students, headroom)
+}
+
+// Renderers for the paper's tables and figures.
+
+// RenderTable1 renders the simulated Table 1.
+func RenderTable1(labs *LabResult) (string, error) { return report.Table1(labs) }
+
+// RenderFig1 renders expected-vs-actual per-lab usage (both panels).
+func RenderFig1(labs *LabResult) string { return report.Fig1(labs) }
+
+// RenderFig2 renders the per-student cost distribution for a provider.
+func RenderFig2(labs *LabResult, p Provider) (string, error) { return report.Fig2(labs, p) }
+
+// RenderFig3 renders project usage by instance type.
+func RenderFig3(proj *ProjectResult) string { return report.Fig3(proj) }
+
+// Support models the course's human support infrastructure (§2).
+type (
+	// SupportConfig parameterizes the forum/office-hour simulation.
+	SupportConfig = support.Config
+	// SupportResult is a simulated semester of support activity.
+	SupportResult = support.Result
+)
+
+// SimulateSupport generates forum and office-hour load (paper: >700
+// threads, >3000 posts).
+func SimulateSupport(cfg SupportConfig) *SupportResult { return support.Simulate(cfg) }

@@ -1,0 +1,92 @@
+package mlsysops
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly the way the README
+// quick start does.
+func TestFacadeEndToEnd(t *testing.T) {
+	summary, err := Planner{}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.LabInstanceHours < 100000 || summary.LabInstanceHours > 120000 {
+		t.Errorf("lab hours = %v", summary.LabInstanceHours)
+	}
+	if summary.PerStudentAWS < 200 || summary.PerStudentAWS > 300 {
+		t.Errorf("per-student = %v", summary.PerStudentAWS)
+	}
+
+	table, err := RenderTable1(summary.Labs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table, "Total") {
+		t.Error("Table1 render missing total")
+	}
+	if out := RenderFig1(summary.Labs); out == "" {
+		t.Error("Fig1 empty")
+	}
+	if out, err := RenderFig2(summary.Labs, AWS); err != nil || out == "" {
+		t.Errorf("Fig2: %v", err)
+	}
+	if out := RenderFig3(summary.Projects); out == "" {
+		t.Error("Fig3 empty")
+	}
+
+	peak := PeakConcurrency(summary.Labs)
+	for _, line := range QuotaCheck(peak, CourseQuota()) {
+		if strings.Contains(line, "EXCEEDED") {
+			t.Errorf("quota exceeded: %s", line)
+		}
+	}
+	if plans := PlanReservations(Enrollment); len(plans) == 0 {
+		t.Error("no reservation plans")
+	}
+	if len(Rows()) != 16 {
+		t.Errorf("catalog rows = %d, want 16 Table-1 rows", len(Rows()))
+	}
+	if Paper().LabInstanceHours != 109837 {
+		t.Error("paper ground truth wrong")
+	}
+}
+
+// TestFacadeCostAndSupportSurface exercises the re-exported helpers the
+// end-to-end test does not reach.
+func TestFacadeCostAndSupportSurface(t *testing.T) {
+	labCost, err := LabCost([]LabUsage{{RowID: "2", InstanceHours: 300, FIPHours: 100}}, AWS)
+	if err != nil || labCost <= 0 {
+		t.Fatalf("LabCost = %v, %v", labCost, err)
+	}
+	projCost, err := ProjectCost(ProjectUsage{VMHours: map[string]float64{"m1.medium": 100}}, GCP)
+	if err != nil || projCost <= 0 {
+		t.Fatalf("ProjectCost = %v, %v", projCost, err)
+	}
+
+	labs, err := SimulateLabs(LabConfig{Students: 40, Seed: 3,
+		Behavior: &Behavior{PromptDeleteFrac: 0.8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := StudentCosts(labs, AWS)
+	if err != nil || len(costs) != 40 {
+		t.Fatalf("StudentCosts: %d, %v", len(costs), err)
+	}
+
+	proj := SimulateProjects(ProjectConfig{Groups: 10, Seed: 3})
+	if len(proj.Groups) != 10 {
+		t.Errorf("groups = %d", len(proj.Groups))
+	}
+
+	sup := SimulateSupport(SupportConfig{Students: 100, Seed: 2})
+	if len(sup.Threads) == 0 || sup.TotalPosts == 0 {
+		t.Error("support simulation empty")
+	}
+
+	q, peak, err := RecommendQuota(40, 1.5)
+	if err != nil || q.Instances < peak.Instances {
+		t.Fatalf("RecommendQuota: %+v, %+v, %v", q, peak, err)
+	}
+}
