@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench repro csv examples clean
+.PHONY: build test vet race check bench repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -10,8 +10,15 @@ build:
 test:
 	$(GO) test ./...
 
+vet:
+	$(GO) vet ./...
+
 race:
 	$(GO) test -race ./...
+
+# Default verification path: compile, static checks, unit tests, then the
+# race-enabled suite (the concurrent batcher/telemetry tests need it).
+check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

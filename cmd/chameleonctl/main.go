@@ -8,9 +8,14 @@
 //	fip <instance-id>               allocate + associate a floating IP
 //	volume <name> <sizeGB>          create a block-storage volume
 //	attach <volume-id> <inst-id>    attach a volume
+//	reserve <start> <end>           book a GPU node lease for [start, end)
+//	sched <policy> <jobs> <gpus>    run a synthetic scheduling trace
+//	batch <n>                       push n requests through a dynamic batcher
 //	advance <hours>                 advance virtual time
 //	usage                           show metered hours by flavor
 //	quota                           show project quota usage
+//	metrics                         show telemetry counters/gauges/histograms
+//	events [n]                      show the n most recent trace events (default 20)
 //	help / quit
 package main
 
@@ -21,20 +26,35 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/blockstore"
 	"repro/internal/cloud"
+	"repro/internal/lease"
+	"repro/internal/report"
+	"repro/internal/sched"
+	"repro/internal/serve"
 	"repro/internal/simclock"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	log.SetFlags(0)
 	clk := simclock.New()
+	bus := telemetry.New()
 	cl := cloud.New("kvm@ctl", clk)
+	cl.SetTelemetry(bus)
 	cl.AddVMCapacity(8, 48, 192)
-	cl.AddBareMetal(2, cloud.GPUA100PCIe)
-	cl.CreateProject("sandbox", cloud.DefaultProjectQuota())
+	// Course-sized quota: the sandbox must fit leased bare-metal GPU
+	// nodes (64 cores each), not just small VMs.
+	cl.CreateProject("sandbox", cloud.CourseQuota())
 	bs := blockstore.New(clk, cl)
+	ls := lease.New(clk, cl)
+	ls.SetTelemetry(bus)
+	ls.AddPool(cloud.GPUA100PCIe, 2) // registers the bare-metal hosts too
+	sched.SetTelemetry(bus)
 
 	fmt.Println("chameleonctl — OpenStack-style CLI over the cloud simulator (type 'help')")
 	sc := bufio.NewScanner(os.Stdin)
@@ -51,7 +71,9 @@ func main() {
 			return
 		case "help":
 			fmt.Println("launch <name> <flavor> | delete <id> | list | fip <inst-id> |")
-			fmt.Println("volume <name> <GB> | attach <vol-id> <inst-id> | advance <hours> | usage | quota | quit")
+			fmt.Println("volume <name> <GB> | attach <vol-id> <inst-id> |")
+			fmt.Println("reserve <start> <end> | sched <policy> <jobs> <gpus> | batch <n> |")
+			fmt.Println("advance <hours> | usage | quota | metrics | events [n] | quit")
 		case "launch":
 			if len(fields) != 3 {
 				fmt.Println("usage: launch <name> <flavor>")
@@ -140,6 +162,106 @@ func main() {
 			for flavor, hours := range cl.Meter().HoursByResource(clk.Now(), cloud.UsageInstance, nil) {
 				fmt.Printf("%-16s %.1f instance-hours\n", flavor, hours)
 			}
+		case "reserve":
+			if len(fields) != 3 {
+				fmt.Println("usage: reserve <start> <end>")
+				break
+			}
+			start, err1 := strconv.ParseFloat(fields[1], 64)
+			end, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				fmt.Println("bad window:", fields[1], fields[2])
+				break
+			}
+			r, err := ls.Book(lease.Spec{Project: "sandbox", User: "operator",
+				NodeType: cloud.GPUA100PCIe.Name, Start: start, End: end})
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Printf("%s on %s [%.1f, %.1f) — advance past %.1f to activate\n",
+				r.ID, r.Node, r.Start, r.End, r.Start)
+		case "sched":
+			if len(fields) != 4 {
+				fmt.Println("usage: sched <fifo|backfill|fairshare|preemptive> <jobs> <gpus>")
+				break
+			}
+			njobs, err1 := strconv.Atoi(fields[2])
+			gpus, err2 := strconv.Atoi(fields[3])
+			if err1 != nil || err2 != nil || njobs < 1 || gpus < 1 {
+				fmt.Println("bad jobs/gpus:", fields[2], fields[3])
+				break
+			}
+			trace := sched.GenerateTrace(sched.DefaultTrace(njobs), stats.NewRNG(7))
+			// The default trace draws gangs up to 16 GPUs; clamp to the
+			// cluster named on the command line so any size works.
+			for _, j := range trace {
+				if j.GPUs > gpus {
+					j.GPUs = gpus
+				}
+			}
+			if fields[1] == "preemptive" {
+				// Promote every fourth job so evictions actually happen.
+				for i, j := range trace {
+					if i%4 == 0 {
+						j.Weight = 5
+					}
+				}
+				res, err := sched.RunPreemptive(trace, gpus)
+				if err != nil {
+					fmt.Println(err)
+					break
+				}
+				fmt.Printf("%d jobs, makespan %.1fh, %d preemptions, avg wait %.2fh\n",
+					len(res.Assignments), res.Makespan, res.TotalPreemptions, res.AvgWait)
+				break
+			}
+			res, err := sched.Run(fields[1], trace, gpus)
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Printf("%d jobs, makespan %.1fh, avg wait %.2fh, utilization %.0f%%\n",
+				len(res.Assignments), res.Makespan, res.AvgWait, 100*res.Utilization)
+		case "batch":
+			if len(fields) != 2 {
+				fmt.Println("usage: batch <n>")
+				break
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil || n < 1 {
+				fmt.Println("bad count:", fields[1])
+				break
+			}
+			b := serve.NewBatcher(8, 2*time.Millisecond, 2, func(in [][]float64) ([][]float64, error) {
+				return in, nil
+			})
+			b.SetTelemetry(bus)
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, _ = b.Submit([]float64{float64(i)})
+				}(i)
+			}
+			wg.Wait()
+			b.Close()
+			batches, requests, mean := b.Stats()
+			fmt.Printf("%d requests in %d batches (mean batch %.1f)\n", requests, batches, mean)
+		case "metrics":
+			fmt.Print(report.Metrics(bus.Snapshot()))
+		case "events":
+			n := 20
+			if len(fields) == 2 {
+				v, err := strconv.Atoi(fields[1])
+				if err != nil || v < 1 {
+					fmt.Println("bad count:", fields[1])
+					break
+				}
+				n = v
+			}
+			fmt.Print(report.Events(bus.Events(n)))
 		case "quota":
 			p, err := cl.GetProject("sandbox")
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Common API errors.
@@ -49,6 +50,8 @@ type Cloud struct {
 	fipRecords map[string]*UsageRecord // fip ID -> open meter record
 	instRecs   map[string]*UsageRecord // instance ID -> open meter record
 
+	tel *telemetry.Bus // nil disables instrumentation
+
 	nextID  int
 	nextFIP int
 }
@@ -81,6 +84,15 @@ func (c *Cloud) Now() float64 { return c.clock.Now() }
 
 // Meter exposes the usage meter for aggregation by the cost model.
 func (c *Cloud) Meter() *Meter { return c.meter }
+
+// SetTelemetry attaches a telemetry bus; instance and floating-IP
+// lifecycle, quota/capacity rejections, and meter open/close are
+// instrumented. Call before concurrent use.
+func (c *Cloud) SetTelemetry(b *telemetry.Bus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = b
+}
 
 // SetPlacer replaces the placement policy.
 func (c *Cloud) SetPlacer(p Placer) {
@@ -164,10 +176,19 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 		return nil, fmt.Errorf("%w: project %q", ErrNotFound, spec.Project)
 	}
 	if err := p.Quota.CanLaunch(p.Usage, spec.Flavor); err != nil {
+		c.tel.Counter("cloud.quota_rejections").Inc()
+		c.tel.Emit("cloud.quota.reject",
+			telemetry.String("project", spec.Project),
+			telemetry.String("flavor", spec.Flavor.Name),
+			telemetry.String("reason", err.Error()))
 		return nil, err
 	}
 	host := c.placer.Place(c.hosts, spec.Flavor)
 	if host == nil {
+		c.tel.Counter("cloud.capacity_rejections").Inc()
+		c.tel.Emit("cloud.capacity.reject",
+			telemetry.String("project", spec.Project),
+			telemetry.String("flavor", spec.Flavor.Name))
 		return nil, fmt.Errorf("%w (flavor %s)", ErrNoCapacity, spec.Flavor.Name)
 	}
 	inst := &Instance{
@@ -193,6 +214,14 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 	p.Usage.RAMGB += spec.Flavor.RAMGB
 	c.instances[inst.ID] = inst
 	c.instRecs[inst.ID] = c.meter.Open(UsageInstance, spec.Project, spec.Flavor.Name, inst.Tags, 1, c.clock.Now())
+	c.tel.Counter("cloud.launches").Inc()
+	c.tel.Counter("cloud.meter.opened").Inc()
+	c.tel.Gauge("cloud.instances_active").Add(1)
+	c.tel.Emit("cloud.instance.launch",
+		telemetry.String("id", inst.ID),
+		telemetry.String("project", spec.Project),
+		telemetry.String("flavor", spec.Flavor.Name),
+		telemetry.Float("t", c.clock.Now()))
 	return inst, nil
 }
 
@@ -235,6 +264,17 @@ func (c *Cloud) deleteLocked(instanceID string) error {
 	inst.DeletedAt = c.clock.Now()
 	c.meter.Close(c.instRecs[inst.ID], c.clock.Now())
 	delete(c.instRecs, inst.ID)
+	c.tel.Counter("cloud.deletes").Inc()
+	c.tel.Counter("cloud.meter.closed").Inc()
+	c.tel.Gauge("cloud.instances_active").Add(-1)
+	c.tel.Histogram("cloud.instance_hours", telemetry.ExpBuckets(0.25, 2, 12)).
+		Observe(inst.DeletedAt - inst.LaunchedAt)
+	c.tel.Emit("cloud.instance.delete",
+		telemetry.String("id", inst.ID),
+		telemetry.String("project", inst.Project),
+		telemetry.String("flavor", inst.Flavor.Name),
+		telemetry.Float("hours", inst.DeletedAt-inst.LaunchedAt),
+		telemetry.Float("t", c.clock.Now()))
 	return nil
 }
 
@@ -362,7 +402,13 @@ func (c *Cloud) AllocateFloatingIP(project string, tags map[string]string) (*Flo
 	}
 	c.fips[f.ID] = f
 	p.Usage.FloatingIPs++
-	c.fipRecords[f.ID] = c.meter.Open(UsageFloatingIP, project, "", copyTags(tags), 1, c.clock.Now())
+	c.fipRecords[f.ID] = c.meter.Open(UsageFloatingIP, project, "", tags, 1, c.clock.Now())
+	c.tel.Counter("cloud.fip_allocations").Inc()
+	c.tel.Counter("cloud.meter.opened").Inc()
+	c.tel.Emit("cloud.fip.allocate",
+		telemetry.String("id", f.ID),
+		telemetry.String("project", project),
+		telemetry.Float("t", c.clock.Now()))
 	return f, nil
 }
 
@@ -404,6 +450,12 @@ func (c *Cloud) ReleaseFloatingIP(fipID string) error {
 	c.projects[f.Project].Usage.FloatingIPs--
 	c.meter.Close(c.fipRecords[f.ID], c.clock.Now())
 	delete(c.fipRecords, f.ID)
+	c.tel.Counter("cloud.fip_releases").Inc()
+	c.tel.Counter("cloud.meter.closed").Inc()
+	c.tel.Emit("cloud.fip.release",
+		telemetry.String("id", f.ID),
+		telemetry.String("project", f.Project),
+		telemetry.Float("t", c.clock.Now()))
 	return nil
 }
 

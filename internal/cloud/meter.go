@@ -58,10 +58,12 @@ type Meter struct {
 }
 
 // Open starts a new metering interval and returns the record so the
-// caller can close it later.
+// caller can close it later. The tags map is defensively copied: a
+// caller mutating its map after Open must not retroactively change the
+// attribution of usage already metered.
 func (m *Meter) Open(kind UsageKind, project, resource string, tags map[string]string, qty, start float64) *UsageRecord {
 	r := &UsageRecord{Kind: kind, Project: project, Resource: resource,
-		Tags: tags, Quantity: qty, Start: start, End: -1}
+		Tags: copyTags(tags), Quantity: qty, Start: start, End: -1}
 	m.records = append(m.records, r)
 	return r
 }
@@ -74,14 +76,16 @@ func (m *Meter) Close(r *UsageRecord, end float64) {
 	}
 }
 
-// Records returns all records matching the filter (nil filter = all). The
-// returned slice shares record pointers with the meter; callers must not
-// mutate them.
-func (m *Meter) Records(filter func(*UsageRecord) bool) []*UsageRecord {
-	var out []*UsageRecord
+// Records returns value copies of all records matching the filter (nil
+// filter = all). Copies keep aggregations stable: a record returned here
+// is a snapshot, unaffected by later Close calls on the live record.
+func (m *Meter) Records(filter func(*UsageRecord) bool) []UsageRecord {
+	var out []UsageRecord
 	for _, r := range m.records {
 		if filter == nil || filter(r) {
-			out = append(out, r)
+			snap := *r
+			snap.Tags = copyTags(r.Tags)
+			out = append(out, snap)
 		}
 	}
 	return out

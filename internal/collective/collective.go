@@ -96,6 +96,9 @@ func RingAllReduce(vectors [][]float64) error {
 		}(rank)
 	}
 	wg.Wait()
+	// Each of the 2(n-1) steps circulates exactly one full vector's worth
+	// of chunks across the ring.
+	recordOp("ring", n, length, 2*(n-1)*length)
 	return nil
 }
 
@@ -137,6 +140,9 @@ func NaiveAllReduce(vectors [][]float64) error {
 		}(rank)
 	}
 	bcast.Wait()
+	// n-1 full vectors in to the root, n-1 broadcast back out — the
+	// bottleneck-link traffic the ring algorithm removes.
+	recordOp("naive", n, len(root), 2*(n-1)*len(root))
 	return nil
 }
 
@@ -178,6 +184,11 @@ func TreeAllReduce(vectors [][]float64) error {
 			}(r+d, r)
 		}
 		wg.Wait()
+	}
+	if n > 1 {
+		// n-1 absorbs up the tree plus n-1 copies back down, each moving
+		// one full vector.
+		recordOp("tree", n, len(vectors[0]), 2*(n-1)*len(vectors[0]))
 	}
 	return nil
 }

@@ -10,6 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrPoolClosed is returned for submissions after Close.
@@ -49,6 +52,7 @@ type Pool struct {
 	queue  chan submission
 	wg     sync.WaitGroup
 	closed bool
+	tel    *telemetry.Bus
 	// stats
 	executed int
 	retried  int
@@ -73,9 +77,28 @@ func NewPool(workers, maxRetries int) *Pool {
 	return p
 }
 
+// SetTelemetry attaches a telemetry bus; task execution, retries, and
+// worker stalls (idle time between tasks) are instrumented. Call before
+// the first Submit.
+func (p *Pool) SetTelemetry(b *telemetry.Bus) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tel = b
+}
+
+func (p *Pool) telemetry() *telemetry.Bus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.tel
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
+	idleSince := time.Now()
 	for sub := range p.queue {
+		tel := p.telemetry()
+		tel.Histogram("jobs.worker_stall_seconds", telemetry.LatencyBuckets()).
+			Observe(time.Since(idleSince).Seconds())
 		res := Result{}
 		for attempt := 0; attempt <= p.MaxRetries; attempt++ {
 			res.Attempts++
@@ -88,11 +111,17 @@ func (p *Pool) worker() {
 			p.mu.Lock()
 			p.retried++
 			p.mu.Unlock()
+			tel.Counter("jobs.retries").Inc()
+			tel.Emit("jobs.retry",
+				telemetry.Int("attempt", res.Attempts),
+				telemetry.String("error", err.Error()))
 		}
 		p.mu.Lock()
 		p.executed++
 		p.mu.Unlock()
+		tel.Counter("jobs.executed").Inc()
 		sub.out <- res
+		idleSince = time.Now()
 	}
 }
 

@@ -1,0 +1,50 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestPoolTelemetry(t *testing.T) {
+	bus := telemetry.New()
+	p := NewPool(2, 1)
+	p.SetTelemetry(bus)
+
+	fail := errors.New("transient")
+	tasks := []Task{
+		func() (float64, error) { return 1, nil },
+		func() (float64, error) { return 2, nil },
+		func() (float64, error) { return 0, fail }, // retried once, still fails
+	}
+	if _, err := p.Map(tasks); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	snap := bus.Snapshot()
+	if m, _ := telemetry.Find(snap, "jobs.executed"); m.Value != 3 {
+		t.Errorf("jobs.executed = %v, want 3", m.Value)
+	}
+	// MaxRetries=1: the failing task runs twice, both attempts counted.
+	if m, _ := telemetry.Find(snap, "jobs.retries"); m.Value != 2 {
+		t.Errorf("jobs.retries = %v, want 2", m.Value)
+	}
+	stall, ok := telemetry.Find(snap, "jobs.worker_stall_seconds")
+	if !ok || stall.Count != 3 {
+		t.Errorf("worker_stall histogram = %+v, want 3 observations", stall)
+	}
+	var retryEvents int
+	for _, e := range bus.Events(0) {
+		if e.Span == "jobs.retry" {
+			retryEvents++
+			if e.Attr("error") != "transient" {
+				t.Errorf("retry event error attr = %q", e.Attr("error"))
+			}
+		}
+	}
+	if retryEvents != 2 {
+		t.Errorf("%d jobs.retry events, want 2", retryEvents)
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the service.
@@ -26,6 +27,7 @@ var (
 	ErrNoNodeFree  = errors.New("lease: no node free in the requested window")
 	ErrNotFound    = errors.New("lease: reservation not found")
 	ErrBadWindow   = errors.New("lease: reservation end must be after start")
+	ErrPastStart   = errors.New("lease: reservation starts in the past")
 	ErrOutsideHold = errors.New("lease: window not inside any staff hold")
 )
 
@@ -71,7 +73,8 @@ type window struct{ start, end float64 }
 type Service struct {
 	mu     sync.Mutex
 	clock  *simclock.Clock
-	cloud  *cloud.Cloud // optional: enables auto launch/terminate
+	cloud  *cloud.Cloud   // optional: enables auto launch/terminate
+	tel    *telemetry.Bus // nil disables instrumentation
 	pools  map[string]*pool
 	all    map[string]*Reservation
 	nextID int
@@ -82,6 +85,15 @@ type Service struct {
 func New(clock *simclock.Clock, cl *cloud.Cloud) *Service {
 	return &Service{clock: clock, cloud: cl,
 		pools: map[string]*pool{}, all: map[string]*Reservation{}}
+}
+
+// SetTelemetry attaches a telemetry bus; bookings, rejections, and the
+// reservation lifecycle (activate/expire/cancel) are instrumented. Call
+// before concurrent use.
+func (s *Service) SetTelemetry(b *telemetry.Bus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tel = b
 }
 
 // AddPool registers n reservable nodes of the given type. When a cloud is
@@ -135,8 +147,35 @@ func (s *Service) Book(spec Spec) (*Reservation, error) {
 }
 
 func (s *Service) bookLocked(spec Spec) (*Reservation, error) {
+	r, err := s.tryBookLocked(spec)
+	if err != nil {
+		s.tel.Counter("lease.rejections").Inc()
+		s.tel.Emit("lease.reject",
+			telemetry.String("node_type", spec.NodeType),
+			telemetry.String("user", spec.User),
+			telemetry.String("reason", err.Error()))
+		return nil, err
+	}
+	s.tel.Counter("lease.bookings").Inc()
+	s.tel.Histogram("lease.duration_hours", telemetry.LinearBuckets(1, 1, 12)).Observe(r.Hours())
+	s.tel.Emit("lease.book",
+		telemetry.String("id", r.ID),
+		telemetry.String("node_type", r.NodeType),
+		telemetry.String("node", r.Node),
+		telemetry.String("user", r.User),
+		telemetry.Float("start", r.Start),
+		telemetry.Float("end", r.End))
+	return r, nil
+}
+
+func (s *Service) tryBookLocked(spec Spec) (*Reservation, error) {
 	if spec.End <= spec.Start {
 		return nil, ErrBadWindow
+	}
+	// The lifecycle is driven by clock events; scheduling one in the past
+	// would panic the clock, so reject it here as a booking error.
+	if now := s.clock.Now(); spec.Start < now {
+		return nil, fmt.Errorf("%w: start %.1f < now %.1f", ErrPastStart, spec.Start, now)
 	}
 	p, ok := s.pools[spec.NodeType]
 	if !ok {
@@ -156,12 +195,15 @@ func (s *Service) bookLocked(spec Spec) (*Reservation, error) {
 		return nil, fmt.Errorf("%w: %s [%.1f, %.1f)", ErrNoNodeFree, spec.NodeType, spec.Start, spec.End)
 	}
 	s.nextID++
+	// Copy the caller's tag map: reservations (and the usage records
+	// attributed from them) must not change retroactively if the caller
+	// reuses or mutates its map after booking.
 	r := &Reservation{
 		ID:      fmt.Sprintf("lease-%06d", s.nextID),
 		Project: spec.Project, User: spec.User,
 		NodeType: spec.NodeType, Node: node,
 		Start: spec.Start, End: spec.End,
-		Tags: spec.Tags,
+		Tags: copyTags(spec.Tags),
 	}
 	p.byNode[node] = insertSorted(p.byNode[node], r)
 	s.all[r.ID] = r
@@ -205,9 +247,29 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 		s.mu.Lock()
 		r.InstanceID = inst.ID
 		s.mu.Unlock()
+		s.tel.Counter("lease.activations").Inc()
+		s.tel.Emit("lease.activate",
+			telemetry.String("id", r.ID),
+			telemetry.String("node", r.Node),
+			telemetry.String("instance", inst.ID),
+			telemetry.Float("t", s.clock.Now()))
 		// Automatic termination at reservation end: the defining
 		// difference from on-demand instances.
 		s.cloud.DeleteAt(inst.ID, r.End)
+		s.clock.At(r.End, "lease.expire "+r.ID, func() {
+			s.mu.Lock()
+			cancelled := r.Cancelled
+			s.mu.Unlock()
+			if cancelled {
+				return
+			}
+			s.tel.Counter("lease.expiries").Inc()
+			s.tel.Emit("lease.expire",
+				telemetry.String("id", r.ID),
+				telemetry.String("node", r.Node),
+				telemetry.String("instance", inst.ID),
+				telemetry.Float("t", s.clock.Now()))
+		})
 	}
 	s.clock.At(r.Start, "lease.start "+r.ID, func() { start(8) })
 }
@@ -244,6 +306,10 @@ func (s *Service) Cancel(id string) error {
 	if instID != "" && s.cloud != nil {
 		_ = s.cloud.Delete(instID)
 	}
+	s.tel.Counter("lease.cancellations").Inc()
+	s.tel.Emit("lease.cancel",
+		telemetry.String("id", id),
+		telemetry.Float("t", s.clock.Now()))
 	return nil
 }
 
@@ -388,6 +454,14 @@ func insideAnyHold(holds []window, start, end float64) bool {
 		}
 	}
 	return false
+}
+
+func copyTags(tags map[string]string) map[string]string {
+	out := map[string]string{}
+	for k, v := range tags {
+		out[k] = v
+	}
+	return out
 }
 
 func insertSorted(list []*Reservation, r *Reservation) []*Reservation {

@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func newPopulatedBus() *telemetry.Bus {
+	bus := telemetry.New()
+	bus.Counter("cloud.launches").Add(42)
+	bus.Gauge("cloud.instances_active").Set(7)
+	h := bus.Histogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 8))
+	for _, v := range []float64{1, 2, 4, 4, 8} {
+		h.Observe(v)
+	}
+	bus.Emit("cloud.instance.launch", telemetry.String("id", "inst-000001"))
+	bus.Emit("lease.expire", telemetry.String("id", "lease-000001"))
+	return bus
+}
+
+func TestMetricsRendering(t *testing.T) {
+	out := Metrics(newPopulatedBus().Snapshot())
+	for _, want := range []string{"cloud.launches", "counter", "42",
+		"cloud.instances_active", "gauge", "serve.batch_size", "histogram"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventsRendering(t *testing.T) {
+	bus := newPopulatedBus()
+	out := Events(bus.Events(0))
+	if !strings.Contains(out, "cloud.instance.launch id=inst-000001") ||
+		!strings.Contains(out, "lease.expire id=lease-000001") {
+		t.Errorf("events rendering missing spans:\n%s", out)
+	}
+}
+
+func TestTelemetrySummary(t *testing.T) {
+	bus := newPopulatedBus()
+	out := TelemetrySummary(bus, 10)
+	for _, want := range []string{"== Telemetry ==", "events emitted: 2",
+		"cloud.launches", "recent events (2):"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if got := TelemetrySummary(nil, 10); !strings.Contains(got, "disabled") {
+		t.Errorf("nil bus summary = %q", got)
+	}
+}

@@ -127,6 +127,7 @@ func RunPreemptive(jobs []*Job, capacity int) (PreemptiveResult, error) {
 		if preempted {
 			s.asg.Preemptions++
 			res.TotalPreemptions++
+			recordPreemption(s.job.ID, at)
 		}
 	}
 	start := func(s *state, at float64) {
@@ -255,5 +256,6 @@ func RunPreemptive(jobs []*Job, capacity int) (PreemptiveResult, error) {
 	if hiCount > 0 {
 		res.AvgHighPriorityWait = hiWaitSum / float64(hiCount)
 	}
+	recordPreemptiveRun(res)
 	return res, nil
 }

@@ -208,6 +208,7 @@ func simulate(policy string, jobs []*Job, capacity int, pick pickFunc) Result {
 		res.Utilization = gpuHours / (float64(capacity) * res.Makespan)
 	}
 	sort.Slice(res.Assignments, func(i, j int) bool { return res.Assignments[i].Job.ID < res.Assignments[j].Job.ID })
+	recordRun(policy, res)
 	return res
 }
 

@@ -1,0 +1,72 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// The schedulers are pure functions over job lists, so instrumentation
+// attaches at package level: SetTelemetry installs a bus and every
+// subsequent Run/RunPreemptive reports queue waits, preemptions, and a
+// per-run summary event. A nil bus (the default) disables it. Telemetry
+// never affects scheduling decisions, so instrumented runs stay
+// deterministic.
+var tel atomic.Pointer[telemetry.Bus]
+
+// SetTelemetry installs the bus used by all scheduler runs (nil
+// disables). Safe to call concurrently with running schedulers.
+func SetTelemetry(b *telemetry.Bus) { tel.Store(b) }
+
+func telemetryBus() *telemetry.Bus { return tel.Load() }
+
+// queueWaitBuckets spans sub-hour waits through multi-day starvation.
+func queueWaitBuckets() []float64 { return telemetry.ExpBuckets(0.25, 2, 12) }
+
+func recordRun(policy string, res Result) {
+	b := telemetryBus()
+	if b == nil {
+		return
+	}
+	b.Counter("sched.runs").Inc()
+	b.Counter("sched.jobs_scheduled").Add(int64(len(res.Assignments)))
+	h := b.Histogram("sched.queue_wait_hours", queueWaitBuckets())
+	for _, a := range res.Assignments {
+		h.Observe(a.Wait())
+	}
+	b.Emit("sched.run",
+		telemetry.String("policy", policy),
+		telemetry.Int("jobs", len(res.Assignments)),
+		telemetry.Float("makespan_h", res.Makespan),
+		telemetry.Float("avg_wait_h", res.AvgWait))
+}
+
+func recordPreemptiveRun(res PreemptiveResult) {
+	b := telemetryBus()
+	if b == nil {
+		return
+	}
+	b.Counter("sched.runs").Inc()
+	b.Counter("sched.jobs_scheduled").Add(int64(len(res.Assignments)))
+	b.Counter("sched.preemptions").Add(int64(res.TotalPreemptions))
+	h := b.Histogram("sched.queue_wait_hours", queueWaitBuckets())
+	for _, a := range res.Assignments {
+		h.Observe(a.FirstStartWait())
+	}
+	b.Emit("sched.run",
+		telemetry.String("policy", "preemptive"),
+		telemetry.Int("jobs", len(res.Assignments)),
+		telemetry.Int("preemptions", res.TotalPreemptions),
+		telemetry.Float("makespan_h", res.Makespan),
+		telemetry.Float("avg_wait_h", res.AvgWait))
+}
+
+func recordPreemption(jobID string, at float64) {
+	b := telemetryBus()
+	if b == nil {
+		return
+	}
+	b.Emit("sched.preempt",
+		telemetry.String("job", jobID),
+		telemetry.Float("t", at))
+}

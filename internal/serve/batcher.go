@@ -4,15 +4,19 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// ErrBatcherClosed is returned for submissions after Close.
+// ErrBatcherClosed is returned for submissions after Close and for
+// accepted requests that the batcher shut down before executing.
 var ErrBatcherClosed = errors.New("serve: batcher is closed")
 
 // Request is one inference request moving through the batcher.
 type Request struct {
-	Input  []float64
-	result chan Response
+	Input    []float64
+	enqueued time.Time
+	result   chan Response
 }
 
 // Response carries the inference output back to the submitter.
@@ -37,10 +41,19 @@ type Batcher struct {
 	MaxDelay time.Duration
 	Execute  ExecuteFunc
 
-	queue  chan *Request
-	done   chan struct{}
-	wg     sync.WaitGroup
-	closed sync.Once
+	queue chan *Request
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	// closeMu makes Submit-vs-Close deterministic: Submit enqueues under
+	// the read lock, Close flips closed under the write lock before the
+	// drain, so no request can slip into the queue after Close has
+	// finished draining it.
+	closeMu   sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+
+	tel *telemetry.Bus
 
 	mu          sync.Mutex
 	batches     int
@@ -71,10 +84,22 @@ func NewBatcher(maxBatch int, maxDelay time.Duration, instances int, execute Exe
 	return b
 }
 
+// SetTelemetry attaches a telemetry bus; batch sizes, formation latency,
+// and request/batch counters are instrumented. Call before Submit.
+func (b *Batcher) SetTelemetry(bus *telemetry.Bus) { b.tel = bus }
+
 // instance collects one batch at a time and executes it.
 func (b *Batcher) instance() {
 	defer b.wg.Done()
 	for {
+		// Shutdown has priority over starting a new batch: once Close
+		// runs, uncollected requests are left for its drain, which
+		// answers them with ErrBatcherClosed deterministically.
+		select {
+		case <-b.done:
+			return
+		default:
+		}
 		// Block for the first request (or shutdown).
 		var first *Request
 		select {
@@ -102,6 +127,7 @@ func (b *Batcher) instance() {
 }
 
 func (b *Batcher) run(batch []*Request) {
+	formation := time.Since(batch[0].enqueued)
 	inputs := make([][]float64, len(batch))
 	for i, r := range batch {
 		inputs[i] = r.Input
@@ -115,6 +141,13 @@ func (b *Batcher) run(batch []*Request) {
 	b.requests += len(batch)
 	b.sumBatchLen += len(batch)
 	b.mu.Unlock()
+	b.tel.Counter("serve.batches").Inc()
+	b.tel.Counter("serve.requests").Add(int64(len(batch)))
+	b.tel.Histogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 32)).Observe(float64(len(batch)))
+	b.tel.Histogram("serve.batch_form_seconds", telemetry.LatencyBuckets()).Observe(formation.Seconds())
+	b.tel.Emit("serve.batch",
+		telemetry.Int("size", len(batch)),
+		telemetry.Float("form_ms", float64(formation.Microseconds())/1000))
 	for i, r := range batch {
 		resp := Response{BatchSize: len(batch), Err: err}
 		if err == nil {
@@ -124,34 +157,56 @@ func (b *Batcher) run(batch []*Request) {
 	}
 }
 
-// Submit enqueues a request and blocks until its batch executes.
+// Submit enqueues a request and blocks until its batch executes. After
+// Close, every accepted request deterministically receives either its
+// real response (its batch was collected before shutdown) or
+// ErrBatcherClosed — never a fabricated zero-value response.
 func (b *Batcher) Submit(input []float64) (Response, error) {
-	r := &Request{Input: input, result: make(chan Response, 1)}
-	select {
-	case b.queue <- r:
-	case <-b.done:
+	r := &Request{Input: input, enqueued: time.Now(), result: make(chan Response, 1)}
+	b.closeMu.RLock()
+	if b.closed {
+		b.closeMu.RUnlock()
+		b.tel.Counter("serve.rejected_closed").Inc()
 		return Response{}, ErrBatcherClosed
 	}
-	select {
-	case resp := <-r.result:
-		return resp, nil
-	case <-b.done:
-		// Instances drain the queue on close; if our request was picked
-		// up, the response still arrives.
-		select {
-		case resp := <-r.result:
-			return resp, nil
-		case <-time.After(time.Second):
-			return Response{}, ErrBatcherClosed
-		}
+	// Enqueue while holding the read lock. The queue is bounded, but
+	// progress is guaranteed: instances only exit after Close flips
+	// `closed`, and Close cannot flip it while we hold the read lock.
+	b.queue <- r
+	b.closeMu.RUnlock()
+	// The response always arrives: either an instance executed the batch
+	// or Close's drain answered with ErrBatcherClosed.
+	resp := <-r.result
+	if resp.Err != nil && errors.Is(resp.Err, ErrBatcherClosed) {
+		return Response{}, ErrBatcherClosed
 	}
+	return resp, nil
 }
 
 // Close stops the instances. In-flight batches finish; queued requests
-// that were never collected receive ErrBatcherClosed from Submit.
+// that were never collected receive ErrBatcherClosed. Close is
+// idempotent and blocks until every accepted request has been answered.
 func (b *Batcher) Close() {
-	b.closed.Do(func() { close(b.done) })
-	b.wg.Wait()
+	b.closeOnce.Do(func() {
+		b.closeMu.Lock()
+		b.closed = true
+		b.closeMu.Unlock()
+		close(b.done)
+		b.wg.Wait()
+		// No Submit can be enqueueing now (closed was set under the
+		// write lock) and all instances have exited, so the queue is
+		// quiescent: answer everything left.
+		for {
+			select {
+			case r := <-b.queue:
+				b.tel.Counter("serve.rejected_closed").Inc()
+				r.result <- Response{Err: ErrBatcherClosed}
+			default:
+				b.tel.Emit("serve.close")
+				return
+			}
+		}
+	})
 }
 
 // Stats reports executed batches, total requests, and mean batch size —

@@ -1,0 +1,509 @@
+// Package telemetry is the platform-wide observability bus: counters,
+// gauges, fixed-bucket histograms, and structured trace events with a
+// ring-buffer sink and pluggable subscribers.
+//
+// The paper's quantitative claims (186,692 instance hours, ≈$250 per
+// student) are only as good as the platform's ability to observe itself;
+// every subsystem on a hot path — instance lifecycle, reservations,
+// scheduling, batching, collectives — emits into one Bus so usage
+// figures can be traced back to the individual events behind them.
+//
+// Design notes:
+//
+//   - Handles are cheap and nil-safe: methods on a nil *Bus return nil
+//     handles, and methods on nil handles are no-ops, so instrumented
+//     components need no "is telemetry enabled?" branches.
+//   - Counters and gauges are lock-free (atomics); histograms take a
+//     short per-histogram lock; Emit takes the bus lock only to append
+//     to the ring and snapshot the subscriber list.
+//   - Subscribers run synchronously on the emitting goroutine, outside
+//     the bus lock. They must be fast and must not call back into the
+//     component that emitted (which may hold its own lock).
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Attr is one key/value pair attached to a trace event.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: fmt.Sprintf("%d", value)} }
+
+// Float builds a float attribute with compact formatting.
+func Float(key string, value float64) Attr {
+	return Attr{Key: key, Value: formatFloat(value)}
+}
+
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%.4f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// Event is one structured trace record. Seq increases monotonically per
+// bus, so subscribers and ring readers can detect ordering and gaps.
+type Event struct {
+	Seq   uint64
+	Span  string
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute ("" if absent).
+func (e Event) Attr(key string) string {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// String renders the event as "span k=v k=v".
+func (e Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Span)
+	for _, a := range e.Attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	return b.String()
+}
+
+// Subscriber receives every event emitted after Subscribe returns.
+type Subscriber func(Event)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Add increments the counter by delta (negative deltas are ignored).
+func (c *Counter) Add(delta int64) {
+	if c == nil || delta <= 0 {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value that can move both ways.
+type Gauge struct {
+	name string
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta (atomic compare-and-swap loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations <= bounds[i]; one implicit overflow bucket counts the
+// rest. Bounds are sorted ascending at creation.
+type Histogram struct {
+	name   string
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1, last is overflow
+	sum    float64
+	total  int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Bucket is one histogram bucket in a snapshot. Count is the number of
+// observations in (prev bound, Bound]; the overflow bucket has
+// Bound = +Inf.
+type Bucket struct {
+	Bound float64
+	Count int64
+}
+
+// Metric is a point-in-time snapshot of one instrument.
+type Metric struct {
+	Name string
+	Kind string // "counter", "gauge", or "histogram"
+
+	Value float64 // counter total or gauge reading
+
+	// Histogram-only fields.
+	Count   int64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// Mean returns Sum/Count for histograms (0 when empty).
+func (m Metric) Mean() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.Count)
+}
+
+// Quantile estimates the q-quantile (0..1) from histogram buckets by
+// linear interpolation within the containing bucket. The overflow bucket
+// reports its lower bound.
+func (m Metric) Quantile(q float64) float64 {
+	if m.Count == 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(m.Count)
+	var cum int64
+	lower := 0.0
+	for _, b := range m.Buckets {
+		cum += b.Count
+		if float64(cum) >= rank {
+			if math.IsInf(b.Bound, 1) {
+				return lower
+			}
+			if b.Count == 0 {
+				return b.Bound
+			}
+			frac := (rank - float64(cum-b.Count)) / float64(b.Count)
+			return lower + frac*(b.Bound-lower)
+		}
+		if !math.IsInf(b.Bound, 1) {
+			lower = b.Bound
+		}
+	}
+	return lower
+}
+
+// LinearBuckets returns n bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// ExpBuckets returns n bounds start, start*factor, start*factor², ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets is a general-purpose seconds scale: 1ms .. ~8s.
+func LatencyBuckets() []float64 { return ExpBuckets(0.001, 2, 14) }
+
+// DefaultRingSize is the event-ring capacity used by New.
+const DefaultRingSize = 1024
+
+// Bus is one telemetry domain: a metric registry plus an event stream.
+// All methods are safe for concurrent use; the zero value is not usable,
+// call New or NewWithRing.
+type Bus struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	ring    []Event // circular; valid entries are the `filled` before head
+	head    int     // next write position
+	filled  int     // number of valid entries, <= len(ring)
+	seq     uint64  // next event sequence number
+	dropped uint64  // events overwritten before being read is not tracked; this counts ring overwrites
+
+	subs   map[int]Subscriber
+	nextID int
+}
+
+// New returns a bus with the default ring size.
+func New() *Bus { return NewWithRing(DefaultRingSize) }
+
+// NewWithRing returns a bus whose event ring holds ringSize events
+// (older events are overwritten once the ring is full).
+func NewWithRing(ringSize int) *Bus {
+	if ringSize < 1 {
+		ringSize = 1
+	}
+	return &Bus{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		ring:     make([]Event, ringSize),
+		subs:     map[int]Subscriber{},
+	}
+}
+
+// Counter returns (registering on first use) the named counter.
+func (b *Bus) Counter(name string) *Counter {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		b.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge.
+func (b *Bus) Gauge(name string) *Gauge {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	g, ok := b.gauges[name]
+	if !ok {
+		g = &Gauge{name: name}
+		b.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram with
+// the given bucket bounds. Bounds are only applied on first registration;
+// later calls with different bounds get the existing instrument.
+func (b *Bus) Histogram(name string, bounds []float64) *Histogram {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h, ok := b.hists[name]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{name: name, bounds: bs, counts: make([]int64, len(bs)+1)}
+		b.hists[name] = h
+	}
+	return h
+}
+
+// Emit appends a trace event to the ring and fans it out to subscribers.
+// Subscribers run synchronously on the caller's goroutine, outside the
+// bus lock.
+func (b *Bus) Emit(span string, attrs ...Attr) {
+	if b == nil {
+		return
+	}
+	e := Event{Span: span, Attrs: append([]Attr(nil), attrs...)}
+	b.mu.Lock()
+	e.Seq = b.seq
+	b.seq++
+	if b.filled == len(b.ring) {
+		b.dropped++
+	}
+	b.ring[b.head] = e
+	b.head = (b.head + 1) % len(b.ring)
+	if b.filled < len(b.ring) {
+		b.filled++
+	}
+	var fns []Subscriber
+	if len(b.subs) > 0 {
+		fns = make([]Subscriber, 0, len(b.subs))
+		ids := make([]int, 0, len(b.subs))
+		for id := range b.subs {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		for _, id := range ids {
+			fns = append(fns, b.subs[id])
+		}
+	}
+	b.mu.Unlock()
+	for _, fn := range fns {
+		fn(e)
+	}
+}
+
+// Subscribe registers fn for every subsequent event and returns a cancel
+// function. Cancel is idempotent.
+func (b *Bus) Subscribe(fn Subscriber) (cancel func()) {
+	if b == nil || fn == nil {
+		return func() {}
+	}
+	b.mu.Lock()
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = fn
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		delete(b.subs, id)
+		b.mu.Unlock()
+	}
+}
+
+// Events returns up to n of the most recent events, oldest first. n <= 0
+// returns everything still in the ring.
+func (b *Bus) Events(n int) []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if n <= 0 || n > b.filled {
+		n = b.filled
+	}
+	out := make([]Event, 0, n)
+	start := b.head - n
+	if start < 0 {
+		start += len(b.ring)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, b.ring[(start+i)%len(b.ring)])
+	}
+	return out
+}
+
+// EventCount returns the total number of events ever emitted.
+func (b *Bus) EventCount() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Dropped returns how many events have been overwritten in the ring.
+func (b *Bus) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Snapshot returns every registered instrument's current value, sorted
+// by name (counters, then gauges, then histograms share one namespace —
+// names should not collide across kinds).
+func (b *Bus) Snapshot() []Metric {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	counters := make([]*Counter, 0, len(b.counters))
+	for _, c := range b.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(b.gauges))
+	for _, g := range b.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(b.hists))
+	for _, h := range b.hists {
+		hists = append(hists, h)
+	}
+	b.mu.Unlock()
+
+	out := make([]Metric, 0, len(counters)+len(gauges)+len(hists))
+	for _, c := range counters {
+		out = append(out, Metric{Name: c.name, Kind: "counter", Value: float64(c.Value())})
+	}
+	for _, g := range gauges {
+		out = append(out, Metric{Name: g.name, Kind: "gauge", Value: g.Value()})
+	}
+	for _, h := range hists {
+		h.mu.Lock()
+		m := Metric{Name: h.name, Kind: "histogram", Count: h.total, Sum: h.sum}
+		m.Buckets = make([]Bucket, len(h.counts))
+		for i, c := range h.counts {
+			bound := math.Inf(1)
+			if i < len(h.bounds) {
+				bound = h.bounds[i]
+			}
+			m.Buckets[i] = Bucket{Bound: bound, Count: c}
+		}
+		h.mu.Unlock()
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Find returns the named metric from a snapshot (ok=false if absent).
+func Find(snap []Metric, name string) (Metric, bool) {
+	for _, m := range snap {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}

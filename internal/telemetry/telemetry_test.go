@@ -1,0 +1,187 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	b := New()
+	b.Counter("c").Add(3)
+	b.Counter("c").Inc()
+	if got := b.Counter("c").Value(); got != 4 {
+		t.Errorf("counter = %d, want 4", got)
+	}
+	b.Counter("c").Add(-5) // negative deltas ignored: counters are monotonic
+	if got := b.Counter("c").Value(); got != 4 {
+		t.Errorf("counter after negative add = %d, want 4", got)
+	}
+
+	b.Gauge("g").Set(2.5)
+	b.Gauge("g").Add(-1)
+	if got := b.Gauge("g").Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+
+	h := b.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	snap := b.Snapshot()
+	m, ok := Find(snap, "h")
+	if !ok {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if m.Count != 4 || m.Sum != 105 {
+		t.Errorf("count/sum = %d/%v, want 4/105", m.Count, m.Sum)
+	}
+	wantCounts := []int64{1, 1, 1, 1} // <=1, <=2, <=4, overflow
+	for i, bk := range m.Buckets {
+		if bk.Count != wantCounts[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, bk.Count, wantCounts[i])
+		}
+	}
+	if !math.IsInf(m.Buckets[len(m.Buckets)-1].Bound, 1) {
+		t.Error("last bucket should be overflow (+Inf)")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	b := New()
+	h := b.Histogram("lat", LinearBuckets(1, 1, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i%10) + 0.5)
+	}
+	m, _ := Find(b.Snapshot(), "lat")
+	p50 := m.Quantile(0.5)
+	if p50 < 3 || p50 > 7 {
+		t.Errorf("p50 = %v, want around 5", p50)
+	}
+	if q := m.Quantile(0); q < 0 {
+		t.Errorf("q0 = %v", q)
+	}
+}
+
+func TestEmitRingAndOrder(t *testing.T) {
+	b := NewWithRing(4)
+	for i := 0; i < 6; i++ {
+		b.Emit("span", Int("i", i))
+	}
+	evs := b.Events(0)
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	// Oldest first; the first two were overwritten.
+	for i, e := range evs {
+		if want := fmt.Sprintf("%d", i+2); e.Attr("i") != want {
+			t.Errorf("event %d: i=%q, want %q", i, e.Attr("i"), want)
+		}
+	}
+	if evs[0].Seq != 2 || evs[3].Seq != 5 {
+		t.Errorf("seq range [%d,%d], want [2,5]", evs[0].Seq, evs[3].Seq)
+	}
+	if b.EventCount() != 6 {
+		t.Errorf("EventCount = %d, want 6", b.EventCount())
+	}
+	if b.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2", b.Dropped())
+	}
+	if got := b.Events(2); len(got) != 2 || got[0].Seq != 4 {
+		t.Errorf("Events(2) = %v", got)
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	b := New()
+	var got []Event
+	cancel := b.Subscribe(func(e Event) { got = append(got, e) })
+	b.Emit("a")
+	b.Emit("b", String("k", "v"))
+	cancel()
+	b.Emit("c")
+	cancel() // idempotent
+	if len(got) != 2 || got[0].Span != "a" || got[1].Attr("k") != "v" {
+		t.Errorf("subscriber saw %v", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Span: "cloud.launch", Attrs: []Attr{String("id", "i-1"), Float("t", 2.5)}}
+	if got := e.String(); got != "cloud.launch id=i-1 t=2.5" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// TestConcurrentEmitSubscribe hammers the bus from many goroutines while
+// subscribers churn; run under -race this is the regression test for the
+// bus's concurrency safety.
+func TestConcurrentEmitSubscribe(t *testing.T) {
+	b := NewWithRing(64)
+	const emitters, events = 8, 200
+	var seen sync.Map
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				b.Counter("n").Inc()
+				b.Gauge("last").Set(float64(i))
+				b.Histogram("dist", LinearBuckets(0, 50, 8)).Observe(float64(i))
+				b.Emit("spin", Int("g", g), Int("i", i))
+			}
+		}(g)
+	}
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cancel := b.Subscribe(func(e Event) { seen.Store(e.Seq, true) })
+				_ = b.Events(10)
+				_ = b.Snapshot()
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.Counter("n").Value(); got != emitters*events {
+		t.Errorf("counter = %d, want %d", got, emitters*events)
+	}
+	m, _ := Find(b.Snapshot(), "dist")
+	if m.Count != emitters*events {
+		t.Errorf("histogram count = %d, want %d", m.Count, emitters*events)
+	}
+	if b.EventCount() != emitters*events {
+		t.Errorf("EventCount = %d, want %d", b.EventCount(), emitters*events)
+	}
+}
+
+func TestNilBusIsSafe(t *testing.T) {
+	var b *Bus
+	b.Counter("c").Inc()
+	b.Gauge("g").Set(1)
+	b.Histogram("h", nil).Observe(1)
+	b.Emit("span")
+	b.Subscribe(func(Event) {})()
+	if b.Events(5) != nil || b.Snapshot() != nil || b.EventCount() != 0 {
+		t.Error("nil bus should report empty state")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(1, 2, 3)
+	if lin[0] != 1 || lin[1] != 3 || lin[2] != 5 {
+		t.Errorf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(1, 10, 3)
+	if exp[0] != 1 || exp[1] != 10 || exp[2] != 100 {
+		t.Errorf("ExpBuckets = %v", exp)
+	}
+	lb := LatencyBuckets()
+	if lb[0] != 0.001 || len(lb) != 14 {
+		t.Errorf("LatencyBuckets = %v", lb)
+	}
+}
