@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race check bench repro csv examples clean
+.PHONY: build test vet lint race check bench repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,18 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Repo-native static analysis: wallclock, mapalias, lockedcallback and
+# unchecked (see README "Static analysis"). Exits non-zero on findings.
+lint:
+	$(GO) run ./cmd/mlsyslint
+
 race:
 	$(GO) test -race ./...
 
-# Default verification path: compile, static checks, unit tests, then the
-# race-enabled suite (the concurrent batcher/telemetry tests need it).
-check: build vet test race
+# Default verification path: compile, static checks (go vet plus the
+# repo's own mlsyslint pass), unit tests, then the race-enabled suite
+# (the concurrent batcher/telemetry tests need it).
+check: build vet lint test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

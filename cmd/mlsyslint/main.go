@@ -1,0 +1,182 @@
+// Command mlsyslint runs the repository's static-analysis checks — the
+// simulation and concurrency invariants that keep the paper's cost
+// figures reproducible — and exits non-zero on findings.
+//
+// Usage:
+//
+//	mlsyslint [-root dir] [-json] [check ...]
+//
+// With no positional arguments every check runs (wallclock, mapalias,
+// lockedcallback, unchecked); naming checks runs that subset, e.g.
+// `mlsyslint unchecked`. -json emits machine-readable findings for CI
+// annotation. See internal/analysis for the check taxonomy and the
+// //lint:ignore suppression syntax.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("mlsyslint", flag.ContinueOnError)
+	root := fs.String("root", "", "module root (default: nearest go.mod upward from cwd)")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	quiet := fs.Bool("q", false, "suppress the summary line")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *root == "" {
+		r, err := findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+			return 2
+		}
+		*root = r
+	}
+	loader, err := analysis.NewLoader(*root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+		return 2
+	}
+	all := repoAnalyzers(loader.Module)
+	analyzers, err := selectAnalyzers(all, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+		return 2
+	}
+	res := analysis.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		type finding struct {
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Col     int    `json:"col"`
+			Check   string `json:"check"`
+			Message string `json:"message"`
+		}
+		out := struct {
+			Findings   []finding `json:"findings"`
+			Suppressed int       `json:"suppressed"`
+			Packages   int       `json:"packages"`
+		}{Findings: []finding{}, Suppressed: len(res.Suppressed), Packages: len(pkgs)}
+		for _, d := range res.Diagnostics {
+			out.Findings = append(out.Findings, finding{
+				File: relPath(*root, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
+				Check: d.Check, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range res.Diagnostics {
+			fmt.Printf("%s:%d:%d: [%s] %s\n",
+				relPath(*root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+		}
+		if !*quiet {
+			names := make([]string, len(analyzers))
+			for i, a := range analyzers {
+				names[i] = a.Name
+			}
+			fmt.Printf("mlsyslint: %d finding(s), %d suppressed, %d package(s), checks: %s\n",
+				len(res.Diagnostics), len(res.Suppressed), len(pkgs), strings.Join(names, ","))
+		}
+	}
+	if len(res.Diagnostics) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// repoAnalyzers instantiates every check with this repository's policy.
+func repoAnalyzers(module string) []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		// The clock boundary: only the simulation kernel, the clock
+		// abstraction itself, and process entry points may read real time.
+		analysis.Wallclock(
+			module+"/internal/simclock",
+			module+"/internal/clock",
+			module+"/cmd/...",
+			module+"/examples/...",
+		),
+		analysis.Mapalias(),
+		analysis.Lockedcallback(),
+		// Errors from formatted printing to stdout/stderr reports and from
+		// in-memory builders are unreportable or nil by contract; file and
+		// state mutations are not allowlisted and must be handled.
+		analysis.Unchecked(
+			"fmt.Print", "fmt.Printf", "fmt.Println",
+			"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+			"(*strings.Builder).WriteString", "(*strings.Builder).WriteByte",
+			"(*strings.Builder).WriteRune", "(*strings.Builder).Write",
+			"(*bytes.Buffer).WriteString", "(*bytes.Buffer).WriteByte",
+			"(*bytes.Buffer).WriteRune", "(*bytes.Buffer).Write",
+		),
+	}
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, names []string) ([]*analysis.Analyzer, error) {
+	if len(names) == 0 {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	known := make([]string, 0, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+		known = append(known, a.Name)
+	}
+	sort.Strings(known)
+	var out []*analysis.Analyzer
+	for _, name := range names {
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found upward from working directory")
+		}
+		dir = parent
+	}
+}
+
+func relPath(root, path string) string {
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

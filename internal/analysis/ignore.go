@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// directive is one parsed //lint:ignore or //lint:file-ignore comment.
+type directive struct {
+	check     string
+	reason    string
+	pos       token.Position
+	wholeFile bool
+	used      bool
+}
+
+// collectDirectives parses every suppression comment in the package.
+// Malformed directives (no check name, or no written reason) come back
+// as diagnostics under the "lint" pseudo-check — an excuse without a
+// justification is not an excuse.
+func collectDirectives(pkg *Package) ([]*directive, []Diagnostic) {
+	var dirs []*directive
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:")
+				if !ok {
+					continue
+				}
+				wholeFile := false
+				switch {
+				case strings.HasPrefix(text, "ignore"):
+					text = strings.TrimPrefix(text, "ignore")
+				case strings.HasPrefix(text, "file-ignore"):
+					text = strings.TrimPrefix(text, "file-ignore")
+					wholeFile = true
+				default:
+					continue // not a suppression directive (reserved namespace)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Check: "lint",
+						Pos:   pos,
+						Message: "malformed lint:ignore directive: " +
+							"want //lint:ignore <check> <reason>, and the reason is mandatory",
+					})
+					continue
+				}
+				dirs = append(dirs, &directive{
+					check:     fields[0],
+					reason:    strings.Join(fields[1:], " "),
+					pos:       pos,
+					wholeFile: wholeFile,
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// matchDirective returns the directive that suppresses d, if any: a
+// file-ignore for the same check anywhere in the file, or a line
+// directive on the finding's line or the line immediately above.
+func matchDirective(dirs []*directive, d Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.check != d.Check || dir.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if dir.wholeFile || dir.pos.Line == d.Pos.Line || dir.pos.Line == d.Pos.Line-1 {
+			return dir
+		}
+	}
+	return nil
+}

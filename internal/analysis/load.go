@@ -1,0 +1,245 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader discovers, parses, and type-checks every package in a module
+// without go/packages: module-internal imports are resolved by walking
+// the module tree, everything else through the stdlib source importer.
+type Loader struct {
+	Root   string // module root (directory containing go.mod)
+	Module string // module path from go.mod
+	// IncludeTests also parses _test.go files into their package (external
+	// "_test" packages are not supported). The lint driver leaves this
+	// off: tests are exempt from the simulation invariants.
+	IncludeTests bool
+
+	fset    *token.FileSet
+	std     types.ImporterFrom
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle detection
+}
+
+// NewLoader prepares a loader for the module rooted at root, reading the
+// module path from go.mod.
+func NewLoader(root string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %w", err)
+	}
+	module := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			module = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if module == "" {
+		return nil, fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	l := &Loader{Root: root, Module: module}
+	l.init()
+	return l, nil
+}
+
+func (l *Loader) init() {
+	l.fset = token.NewFileSet()
+	l.std = importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom)
+	l.pkgs = map[string]*Package{}
+	l.loading = map[string]bool{}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadAll walks the module tree and loads every package containing Go
+// files, skipping testdata, vendor, hidden directories, and output dirs.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Root && (name == "testdata" || name == "vendor" || name == "out" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.Root, dir)
+		if err != nil {
+			return nil, err
+		}
+		importPath := l.Module
+		if rel != "." {
+			importPath = l.Module + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(importPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir loads a single directory as the package with the given import
+// path, without walking a module. Used by analyzer golden tests to load
+// testdata packages; module-internal imports are unavailable.
+func LoadDir(dir, importPath string, includeTests bool) (*Package, error) {
+	l := &Loader{Root: dir, Module: importPath, IncludeTests: includeTests}
+	l.init()
+	return l.load(importPath, dir)
+}
+
+// load parses and type-checks one package directory.
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	// Reject mixed packages (keep the dominant non-test package; external
+	// _test packages are dropped rather than type-checked).
+	base := files[0].Name.Name
+	for _, f := range files {
+		if strings.HasSuffix(base, "_test") && !strings.HasSuffix(f.Name.Name, "_test") {
+			base = f.Name.Name
+		}
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if f.Name.Name == base {
+			kept = append(kept, f)
+		}
+	}
+	files = kept
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(path, srcDir string) (*types.Package, error) {
+			return l.importPkg(path)
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v (and %d more)",
+			importPath, typeErrs[0], len(typeErrs)-1)
+	}
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import: module-internal paths load recursively
+// from source, everything else goes through the stdlib source importer.
+func (l *Loader) importPkg(path string) (*types.Package, error) {
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
+		pkg, err := l.load(path, filepath.Join(l.Root, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, l.Root, 0)
+}
+
+// importerFunc adapts a function to types.ImporterFrom.
+type importerFunc func(path, dir string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) {
+	return f(path, "")
+}
+
+func (f importerFunc) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	return f(path, dir)
+}

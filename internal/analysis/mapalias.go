@@ -1,0 +1,271 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Mapalias returns the check for the bug class PR 1 fixed by hand twice
+// (Meter.Open and lease.Book): an exported function or method stores a
+// caller-provided map or slice into long-lived state — a struct field
+// reachable from the receiver, or a package-level variable — without
+// copying it, so later caller mutations corrupt internal invariants.
+//
+// The check is a deliberate heuristic, not an escape analysis:
+//
+//   - Direct stores of a parameter (or a map/slice field of a struct
+//     parameter) into receiver fields or package variables are flagged,
+//     including element-wise appends of a reference-typed parameter.
+//   - Address-taken composite literals capturing a caller-provided map
+//     are flagged wherever they appear (&Record{Tags: tags} escapes into
+//     state in every observed instance of the bug). Slices are exempt
+//     from this rule: &T{buf: xs} constructors that take ownership of a
+//     slice are an idiomatic, documented contract.
+//   - A parameter that is reassigned anywhere in the body is assumed to
+//     have been rebound to a copy and is not flagged.
+//
+// Intentional ownership transfer is expressed with
+// //lint:ignore mapalias <why the callee owns the memory>.
+func Mapalias() *Analyzer {
+	a := &Analyzer{
+		Name: "mapalias",
+		Doc: "forbids storing caller-provided maps/slices into struct or package state " +
+			"without a defensive copy at the exported API boundary",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			if isTestFile(pass, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil || !fn.Name.IsExported() {
+					continue
+				}
+				checkMapalias(pass, fn)
+			}
+		}
+	}
+	return a
+}
+
+type mapaliasScope struct {
+	pass     *Pass
+	params   map[types.Object]bool // every parameter object
+	rebound  map[types.Object]bool // parameters reassigned in the body
+	recv     types.Object          // receiver object, if any
+	reported map[token.Pos]bool    // dedupe between the store and composite rules
+}
+
+func checkMapalias(pass *Pass, fn *ast.FuncDecl) {
+	sc := &mapaliasScope{
+		pass:     pass,
+		params:   map[types.Object]bool{},
+		rebound:  map[types.Object]bool{},
+		reported: map[token.Pos]bool{},
+	}
+	if fn.Recv != nil && len(fn.Recv.List) > 0 && len(fn.Recv.List[0].Names) > 0 {
+		sc.recv = pass.Pkg.Info.Defs[fn.Recv.List[0].Names[0]]
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Pkg.Info.Defs[name]; obj != nil {
+				sc.params[obj] = true
+			}
+		}
+	}
+	if len(sc.params) == 0 {
+		return
+	}
+	// First pass: parameters rebound anywhere in the body are presumed
+	// copied (`tags = copyTags(tags)` is the sanctioned idiom).
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if obj := sc.pass.Pkg.Info.Uses[id]; obj != nil && sc.params[obj] {
+					sc.rebound[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			sc.checkAssign(n)
+		case *ast.UnaryExpr:
+			// &T{..., tags, ...} with a caller-provided map: the pointer
+			// escapes into state in every observed instance of this bug.
+			if n.Op == token.AND {
+				if lit, ok := n.X.(*ast.CompositeLit); ok {
+					if id := sc.aliasIn(lit, true); id != nil {
+						sc.report(id, "address-taken composite literal captures caller-provided map %q without copying", id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (sc *mapaliasScope) checkAssign(assign *ast.AssignStmt) {
+	if assign.Tok != token.ASSIGN || len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if !sc.stateful(lhs) {
+			continue
+		}
+		rhs := assign.Rhs[i]
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			// append(state, param): storing a reference-typed parameter as
+			// an element aliases it just as surely as a direct store.
+			// append(state, xs...) copies the elements and is fine.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && call.Ellipsis == token.NoPos {
+				for _, arg := range call.Args[1:] {
+					if id := sc.aliasRoot(arg, false); id != nil {
+						sc.report(id, "append stores caller-provided %s %q into state without copying", refKind(sc.typeOf(arg)), id.Name)
+					}
+				}
+			}
+			continue
+		}
+		if id := sc.aliasRoot(rhs, false); id != nil {
+			sc.report(id, "stores caller-provided %s %q into state without copying; copy at the API boundary", refKind(sc.typeOf(ast.Unparen(rhs))), id.Name)
+		}
+	}
+}
+
+// stateful reports whether lhs designates long-lived state: a package
+// variable, or a field/element reachable from the method receiver or a
+// package variable.
+func (sc *mapaliasScope) stateful(lhs ast.Expr) bool {
+	switch lhs := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		obj := sc.pass.Pkg.Info.Uses[lhs]
+		return obj != nil && obj.Parent() == sc.pass.Pkg.Types.Scope()
+	case *ast.SelectorExpr:
+		if root := rootIdent(lhs.X); root != nil {
+			obj := sc.pass.Pkg.Info.Uses[root]
+			if obj == nil {
+				return false
+			}
+			return obj == sc.recv || obj.Parent() == sc.pass.Pkg.Types.Scope()
+		}
+		return false
+	case *ast.IndexExpr:
+		return sc.stateful(lhs.X)
+	}
+	return false
+}
+
+// aliasRoot returns the parameter identifier that expr aliases without a
+// copy, or nil. Calls (including conversions and clone helpers) break
+// the alias chain; slicing, field selection, and composite wrapping do
+// not. mapsOnly restricts matches to map-typed values.
+func (sc *mapaliasScope) aliasRoot(expr ast.Expr, mapsOnly bool) *ast.Ident {
+	expr = ast.Unparen(expr)
+	if !refTyped(sc.typeOf(expr), mapsOnly) {
+		if _, ok := expr.(*ast.CompositeLit); !ok {
+			return nil
+		}
+	}
+	switch e := expr.(type) {
+	case *ast.Ident:
+		obj := sc.pass.Pkg.Info.Uses[e]
+		if obj != nil && sc.params[obj] && !sc.rebound[obj] {
+			return e
+		}
+	case *ast.SelectorExpr:
+		// A map/slice field of a struct parameter (lease.Book's
+		// spec.Tags) shares the caller's backing memory.
+		if root := rootIdent(e); root != nil {
+			obj := sc.pass.Pkg.Info.Uses[root]
+			if obj != nil && sc.params[obj] && !sc.rebound[obj] {
+				return root
+			}
+		}
+	case *ast.SliceExpr:
+		return sc.aliasRoot(e.X, mapsOnly)
+	case *ast.CompositeLit:
+		return sc.aliasIn(e, mapsOnly)
+	}
+	return nil
+}
+
+// aliasIn looks inside a composite literal for an uncopied caller
+// reference among its element values.
+func (sc *mapaliasScope) aliasIn(lit *ast.CompositeLit, mapsOnly bool) *ast.Ident {
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			elt = kv.Value
+		}
+		if id := sc.aliasRoot(elt, mapsOnly); id != nil {
+			return id
+		}
+	}
+	return nil
+}
+
+func (sc *mapaliasScope) report(id *ast.Ident, format string, args ...any) {
+	if sc.reported[id.Pos()] {
+		return
+	}
+	sc.reported[id.Pos()] = true
+	sc.pass.Reportf(id.Pos(), format, args...)
+}
+
+func (sc *mapaliasScope) typeOf(expr ast.Expr) types.Type {
+	if tv, ok := sc.pass.Pkg.Info.Types[expr]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// rootIdent chases a selector/index chain to its base identifier.
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := ast.Unparen(expr).(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+func refTyped(t types.Type, mapsOnly bool) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return true
+	case *types.Slice:
+		return !mapsOnly
+	}
+	return false
+}
+
+func refKind(t types.Type) string {
+	if t == nil {
+		return "reference"
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return "reference"
+}

@@ -1,0 +1,88 @@
+// Package mapalias is a golden-test fixture for the mapalias check.
+package mapalias
+
+// Store is long-lived state reachable from exported methods.
+type Store struct {
+	tags  map[string]string
+	items []int
+	meta  map[string]string
+}
+
+var global map[string]string
+
+var stash []map[string]string
+
+// SetTags stores the caller's map directly — the PR-1 bug class.
+func (s *Store) SetTags(m map[string]string) {
+	s.tags = m // want `stores caller-provided map "m" into state without copying`
+}
+
+// SetItems stores the caller's slice directly.
+func (s *Store) SetItems(xs []int) {
+	s.items = xs // want `stores caller-provided slice "xs" into state without copying`
+}
+
+// SetItemsTail stores a reslice, which shares the same backing array.
+func (s *Store) SetItemsTail(xs []int) {
+	s.items = xs[1:] // want `stores caller-provided slice "xs" into state without copying`
+}
+
+// SetGlobal stores into package-level state.
+func SetGlobal(m map[string]string) {
+	global = m // want `stores caller-provided map "m" into state without copying`
+}
+
+// Spec carries a map field, like lease.ReservationSpec.
+type Spec struct{ Tags map[string]string }
+
+// Open captures spec.Tags through an address-taken composite literal —
+// exactly how Meter.Open and lease.Book aliased caller tags before PR 1.
+func Open(spec Spec) *Store {
+	return &Store{tags: spec.Tags} // want `address-taken composite literal captures caller-provided map "spec"`
+}
+
+// Register appends the caller's map into package state by reference.
+func Register(m map[string]string) {
+	stash = append(stash, m) // want `append stores caller-provided map "m" into state`
+}
+
+// SetMeta transfers ownership deliberately, with a written reason.
+func (s *Store) SetMeta(m map[string]string) {
+	//lint:ignore mapalias fixture: ownership transfer is this setter's documented contract
+	s.meta = m
+}
+
+// SetTagsCopy copies element-wise before storing: the sanctioned idiom.
+func (s *Store) SetTagsCopy(m map[string]string) {
+	cp := make(map[string]string, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	s.tags = cp
+}
+
+// SetItemsCopy rebinds the parameter to a copy first; rebinding marks
+// the parameter as sanitized.
+func (s *Store) SetItemsCopy(xs []int) {
+	xs = append([]int(nil), xs...)
+	s.items = xs
+}
+
+// setTags is unexported: internal callers manage ownership themselves.
+func (s *Store) setTags(m map[string]string) {
+	s.tags = m
+}
+
+// NewBuffer takes ownership of a slice by constructor convention; the
+// address-taken composite rule is maps-only, so this is allowed.
+func NewBuffer(xs []int) *Store {
+	return &Store{items: xs}
+}
+
+// Passthrough returns the caller's map without storing it: fine.
+func Passthrough(m map[string]string) map[string]string {
+	local := m
+	return local
+}
+
+var _ = (&Store{}).setTags

@@ -1,0 +1,40 @@
+// Package unchecked is a golden-test fixture for the unchecked check.
+package unchecked
+
+import "fmt"
+
+func fallible() error { return nil }
+
+func pair() (int, error) { return 0, nil }
+
+func pure() int { return 0 }
+
+// allowlisted stands in for a callee the driver policy allowlists; the
+// golden test constructs the analyzer with it allowed.
+func allowlisted() error { return nil }
+
+// bad drops errors implicitly.
+func bad() {
+	fallible() // want `result of unchecked\.fallible includes an error that is silently dropped`
+	pair()     // want `result of unchecked\.pair includes an error that is silently dropped`
+}
+
+// good handles, propagates, or explicitly discards every error.
+func good() error {
+	_ = fallible()
+	if err := fallible(); err != nil {
+		return err
+	}
+	v, err := pair()
+	_, _ = v, err
+	pure()
+	fmt.Println("formatted printing is allowlisted by driver policy")
+	allowlisted()
+	return nil
+}
+
+// suppressed documents why this particular drop is acceptable.
+func suppressed() {
+	//lint:ignore unchecked fixture: best-effort cleanup, failure leaves only a stale temp entry
+	fallible()
+}

@@ -1,0 +1,27 @@
+// Package wallclock is a golden-test fixture for the wallclock check.
+package wallclock
+
+import "time"
+
+// bad reads and waits on the machine clock in every banned way.
+func bad() {
+	_ = time.Now()                 // want `time\.Now reads the machine clock`
+	time.Sleep(time.Millisecond)   // want `time\.Sleep reads the machine clock`
+	<-time.After(time.Millisecond) // want `time\.After reads the machine clock`
+	_ = time.Tick(time.Second)     // want `time\.Tick reads the machine clock`
+	_ = time.Since(time.Time{})    // want `time\.Since reads the machine clock`
+	_ = time.Until(time.Time{})    // want `time\.Until reads the machine clock`
+}
+
+// suppressed demonstrates an authorized, justified real-time read.
+func suppressed() {
+	//lint:ignore wallclock fixture: demonstrates an authorized real-time read with a written reason
+	_ = time.Now()
+}
+
+// fine uses the time package without touching the machine clock.
+func fine() time.Time {
+	d := 5 * time.Millisecond
+	var t time.Time
+	return t.Add(d)
+}

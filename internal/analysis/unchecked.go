@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Unchecked returns the check for silently dropped errors: an expression
+// statement calling something that returns an error, with the result
+// discarded implicitly. Explicit discards (`_ = f()`) are allowed — they
+// are visible in review and greppable — as are calls on the allowlist.
+//
+// allow entries match types.Func.FullName(): package functions as
+// "fmt.Fprintf", methods as "(*strings.Builder).WriteString". The repo
+// policy allowlists formatted printing to stdout/stderr and in-memory
+// builders (their errors are either nil by contract or unreportable);
+// anything that mutates files or durable state must be handled or
+// explicitly discarded.
+//
+// `go f()` and `defer f()` are out of scope: their results are
+// unrecoverable by construction and flagging them produces noise, not
+// fixes.
+func Unchecked(allow ...string) *Analyzer {
+	allowed := make(map[string]bool, len(allow))
+	for _, name := range allow {
+		allowed[name] = true
+	}
+	a := &Analyzer{
+		Name: "unchecked",
+		Doc: "forbids implicitly dropped error returns; handle the error, " +
+			"discard it explicitly with `_ =`, or allowlist the callee",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			if isTestFile(pass, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				stmt, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkUnchecked(pass, allowed, call)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+func checkUnchecked(pass *Pass, allowed map[string]bool, call *ast.CallExpr) {
+	tv, ok := pass.Pkg.Info.Types[call]
+	if !ok || tv.IsType() { // conversions are not calls
+		return
+	}
+	if !resultsIncludeError(tv.Type) {
+		return
+	}
+	name := calleeName(pass, call)
+	if name != "" && allowed[name] {
+		return
+	}
+	if name == "" {
+		name = types.ExprString(call.Fun)
+	}
+	pass.Reportf(call.Pos(),
+		"result of %s includes an error that is silently dropped; handle it or discard explicitly with `_ =`", name)
+}
+
+// resultsIncludeError reports whether t (a call's result type: a single
+// type or a tuple) contains the error interface.
+func resultsIncludeError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "error" && obj.Pkg() == nil // the universe-scope error
+}
+
+// calleeName resolves the statically known callee, in
+// types.Func.FullName() form, or "" for dynamic calls.
+func calleeName(pass *Pass, call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pass.Pkg.Info.Uses[fn].(*types.Func); ok {
+			return f.FullName()
+		}
+	case *ast.SelectorExpr:
+		if f, ok := pass.Pkg.Info.Uses[fn.Sel].(*types.Func); ok {
+			return f.FullName()
+		}
+	}
+	return ""
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallclockBanned is the set of time-package functions that read or wait
+// on the machine clock. Everything here either returns the wall-clock
+// time or blocks until it advances — both of which silently desynchronize
+// a component from the discrete-event simulation driving it.
+var wallclockBanned = map[string]bool{
+	"Now":   true,
+	"Sleep": true,
+	"After": true,
+	"Tick":  true,
+	"Since": true, // reads time.Now internally
+	"Until": true, // reads time.Now internally
+}
+
+// Wallclock returns the check that forbids wall-clock reads outside the
+// allowed package set. allowed entries are exact import paths, or
+// prefixes ending in "/..." which allow a whole subtree (the repo policy
+// allows internal/simclock, internal/clock, and the cmd/ and examples/
+// entry points). Files ending in _test.go are always exempt: tests may
+// measure real time.
+func Wallclock(allowed ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc: "forbids time.Now/Sleep/After/Tick/Since/Until outside the clock boundary; " +
+			"simulated components must observe virtual time through an injected clock.Clock",
+	}
+	a.Run = func(pass *Pass) {
+		for _, pat := range allowed {
+			if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+				if pass.Pkg.ImportPath == sub || strings.HasPrefix(pass.Pkg.ImportPath, sub+"/") {
+					return
+				}
+			} else if pass.Pkg.ImportPath == pat {
+				return
+			}
+		}
+		for _, f := range pass.Pkg.Files {
+			if isTestFile(pass, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallclockBanned[sel.Sel.Name] {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+				if !ok || pkgName.Imported().Path() != "time" {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s reads the machine clock; inject a clock.Clock (simclock-backed in simulations) instead",
+					sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isTestFile reports whether the file containing f is a _test.go file.
+func isTestFile(pass *Pass, f *ast.File) bool {
+	name := pass.Pkg.Fset.Position(f.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/mlcore"
 	"repro/internal/monitor"
 	"repro/internal/safeguard"
@@ -41,11 +42,17 @@ type Config struct {
 	Safeguards *safeguard.Pipeline
 	// Forcing wraps low-confidence predictions; zero value disables.
 	Forcing safeguard.CognitiveForcing
+	// Clock supplies request timestamps for latency metrics. nil means
+	// the machine clock (the right default for cmd/ entry points);
+	// simulations inject clock.Sim and tests clock.Manual so the
+	// /metrics latencies are virtual-time-consistent.
+	Clock clock.Clock
 }
 
 // Server is the running service.
 type Server struct {
 	cfg      Config
+	clk      clock.Clock
 	batcher  *serve.Batcher
 	mux      *http.ServeMux
 	feedback *monitor.FeedbackCollector
@@ -71,9 +78,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Instances == 0 {
 		cfg.Instances = 2
 	}
-	s := &Server{cfg: cfg, feedback: monitor.NewFeedbackCollector()}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	s := &Server{cfg: cfg, clk: cfg.Clock, feedback: monitor.NewFeedbackCollector()}
 	model := cfg.Model
-	s.batcher = serve.NewBatcher(cfg.MaxBatch, cfg.MaxDelay, cfg.Instances,
+	s.batcher = serve.NewBatcherClock(cfg.MaxBatch, cfg.MaxDelay, cfg.Instances,
 		func(inputs [][]float64) ([][]float64, error) {
 			out := make([][]float64, len(inputs))
 			for i, x := range inputs {
@@ -87,7 +97,7 @@ func New(cfg Config) (*Server, error) {
 				out[i] = []float64{float64(best), conf}
 			}
 			return out, nil
-		})
+		}, cfg.Clock)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /predict", s.handlePredict)
 	s.mux.HandleFunc("POST /feedback", s.handleFeedback)
@@ -134,7 +144,7 @@ func (s *Server) label(class int) string {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
+	start := s.clk.Now()
 	var req PredictRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.count(&s.errors)
@@ -167,7 +177,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.requests++
 	if len(s.latencies) < 4096 {
-		s.latencies = append(s.latencies, float64(time.Since(start).Microseconds())/1000)
+		s.latencies = append(s.latencies, float64(clock.Since(s.clk, start).Microseconds())/1000)
 	}
 	s.mu.Unlock()
 

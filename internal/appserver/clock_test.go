@@ -1,0 +1,61 @@
+package appserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/mlcore"
+	"repro/internal/safeguard"
+	"repro/internal/stats"
+)
+
+// TestLatencyDeterministicClock pins the server to a manual clock via
+// Config.Clock: request start and end timestamps coincide, so every
+// latency quantile in /metrics must be exactly 0.000. This is the
+// end-to-end proof that the clock boundary reaches the HTTP layer.
+func TestLatencyDeterministicClock(t *testing.T) {
+	data := mlcore.Blobs(300, 6, 3, 0.6, stats.NewRNG(3))
+	train, test := data.Split(0.8)
+	m := mlcore.NewSoftmaxClassifier(train.Features(), train.Classes)
+	if _, err := mlcore.Train(m, train, mlcore.TrainConfig{Epochs: 4, LR: 0.3}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Model:      m,
+		Labels:     []string{"pizza", "sushi", "ramen"},
+		Safeguards: safeguard.DefaultPipeline(),
+		Forcing:    safeguard.CognitiveForcing{WarnAt: 0.7, ConfirmAt: 0.4},
+		MaxDelay:   500 * time.Microsecond,
+		Clock:      clock.NewManual(time.Date(2025, 1, 6, 9, 0, 0, 0, time.UTC)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s)
+	defer func() { srv.Close(); s.Close() }()
+
+	for i := 0; i < 5; i++ {
+		out, code := postPredict(t, srv.URL, PredictRequest{Features: test.X[i], Caption: "nice plate"})
+		if code != http.StatusOK {
+			t.Fatalf("predict %d: status %d (%+v)", i, code, out)
+		}
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		want := "gourmetgram_latency_ms{quantile=\"" + q + "\"} 0.000"
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q with a frozen clock:\n%s", want, body)
+		}
+	}
+}

@@ -302,12 +302,18 @@ func (c *Cloud) Get(instanceID string) (*Instance, error) {
 }
 
 // List returns instances matching the filter (nil = all), sorted by ID
-// for deterministic output.
+// for deterministic output. The filter runs outside the cloud lock (on a
+// snapshot of the instance set), so it may safely call back into the
+// Cloud — e.g. to consult quotas — without deadlocking.
 func (c *Cloud) List(filter func(*Instance) bool) []*Instance {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	var out []*Instance
+	all := make([]*Instance, 0, len(c.instances))
 	for _, inst := range c.instances {
+		all = append(all, inst)
+	}
+	c.mu.Unlock()
+	var out []*Instance
+	for _, inst := range all {
 		if filter == nil || filter(inst) {
 			out = append(out, inst)
 		}

@@ -1,0 +1,41 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+// TestWorkerStallDeterministicClock pins the pool to a manual clock: the
+// clock never advances, so every worker-stall observation must be
+// exactly zero. Under the old time.Now plumbing this histogram picked up
+// scheduler jitter and the test would be flaky by construction.
+func TestWorkerStallDeterministicClock(t *testing.T) {
+	clk := clock.NewManual(time.Date(2025, 1, 6, 9, 0, 0, 0, time.UTC))
+	p := NewPoolClock(2, 0, clk)
+	bus := telemetry.New()
+	p.SetTelemetry(bus)
+
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		v := float64(i)
+		tasks[i] = func() (float64, error) { return v, nil }
+	}
+	if _, err := p.Map(tasks); err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+
+	stall, ok := telemetry.Find(bus.Snapshot(), "jobs.worker_stall_seconds")
+	if !ok {
+		t.Fatal("jobs.worker_stall_seconds not recorded")
+	}
+	if stall.Count == 0 {
+		t.Fatal("no stall observations recorded")
+	}
+	if stall.Sum != 0 {
+		t.Errorf("stall sum = %v with a frozen clock, want exactly 0", stall.Sum)
+	}
+}

@@ -10,8 +10,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"time"
 
+	"repro/internal/clock"
 	"repro/internal/telemetry"
 )
 
@@ -48,6 +48,7 @@ func (f *Future) Get() Result {
 type Pool struct {
 	MaxRetries int
 
+	clk    clock.Clock
 	mu     sync.Mutex
 	queue  chan submission
 	wg     sync.WaitGroup
@@ -64,12 +65,23 @@ type submission struct {
 }
 
 // NewPool starts a pool with the given number of workers and per-task
-// retry budget.
+// retry budget, measuring worker stalls on the machine clock. Entry
+// points use this; simulations and tests use NewPoolClock.
 func NewPool(workers, maxRetries int) *Pool {
+	return NewPoolClock(workers, maxRetries, clock.System{})
+}
+
+// NewPoolClock starts a pool whose idle/stall telemetry reads the given
+// clock, so latencies stay virtual-time-consistent inside simulations
+// and deterministic in tests. A nil clk falls back to the machine clock.
+func NewPoolClock(workers, maxRetries int, clk clock.Clock) *Pool {
 	if workers <= 0 {
 		workers = 1
 	}
-	p := &Pool{MaxRetries: maxRetries, queue: make(chan submission)}
+	if clk == nil {
+		clk = clock.System{}
+	}
+	p := &Pool{MaxRetries: maxRetries, clk: clk, queue: make(chan submission)}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go p.worker()
@@ -94,11 +106,11 @@ func (p *Pool) telemetry() *telemetry.Bus {
 
 func (p *Pool) worker() {
 	defer p.wg.Done()
-	idleSince := time.Now()
+	idleSince := p.clk.Now()
 	for sub := range p.queue {
 		tel := p.telemetry()
 		tel.Histogram("jobs.worker_stall_seconds", telemetry.LatencyBuckets()).
-			Observe(time.Since(idleSince).Seconds())
+			Observe(clock.Since(p.clk, idleSince).Seconds())
 		res := Result{}
 		for attempt := 0; attempt <= p.MaxRetries; attempt++ {
 			res.Attempts++
@@ -121,7 +133,7 @@ func (p *Pool) worker() {
 		p.mu.Unlock()
 		tel.Counter("jobs.executed").Inc()
 		sub.out <- res
-		idleSince = time.Now()
+		idleSince = p.clk.Now()
 	}
 }
 

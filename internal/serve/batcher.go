@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/telemetry"
 )
 
@@ -54,6 +55,7 @@ type Batcher struct {
 	closeOnce sync.Once
 
 	tel *telemetry.Bus
+	clk clock.Clock
 
 	mu          sync.Mutex
 	batches     int
@@ -62,15 +64,30 @@ type Batcher struct {
 }
 
 // NewBatcher starts a dynamic batcher with the given number of concurrent
-// executor instances.
+// executor instances, stamping requests with the machine clock. Entry
+// points use this; simulations and tests use NewBatcherClock.
 func NewBatcher(maxBatch int, maxDelay time.Duration, instances int, execute ExecuteFunc) *Batcher {
+	return NewBatcherClock(maxBatch, maxDelay, instances, execute, clock.System{})
+}
+
+// NewBatcherClock starts a dynamic batcher whose enqueue timestamps and
+// batch-formation latencies read the given clock, keeping telemetry
+// virtual-time-consistent inside simulations and deterministic in tests.
+// A nil clk falls back to the machine clock. (The MaxDelay fill window
+// still waits on a real timer: batch formation is a concurrency
+// mechanism, not a measurement.)
+func NewBatcherClock(maxBatch int, maxDelay time.Duration, instances int, execute ExecuteFunc, clk clock.Clock) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
 	if instances < 1 {
 		instances = 1
 	}
+	if clk == nil {
+		clk = clock.System{}
+	}
 	b := &Batcher{
+		clk:      clk,
 		MaxBatch: maxBatch,
 		MaxDelay: maxDelay,
 		Execute:  execute,
@@ -127,7 +144,7 @@ func (b *Batcher) instance() {
 }
 
 func (b *Batcher) run(batch []*Request) {
-	formation := time.Since(batch[0].enqueued)
+	formation := clock.Since(b.clk, batch[0].enqueued)
 	inputs := make([][]float64, len(batch))
 	for i, r := range batch {
 		inputs[i] = r.Input
@@ -162,7 +179,7 @@ func (b *Batcher) run(batch []*Request) {
 // real response (its batch was collected before shutdown) or
 // ErrBatcherClosed — never a fabricated zero-value response.
 func (b *Batcher) Submit(input []float64) (Response, error) {
-	r := &Request{Input: input, enqueued: time.Now(), result: make(chan Response, 1)}
+	r := &Request{Input: input, enqueued: b.clk.Now(), result: make(chan Response, 1)}
 	b.closeMu.RLock()
 	if b.closed {
 		b.closeMu.RUnlock()
@@ -172,6 +189,7 @@ func (b *Batcher) Submit(input []float64) (Response, error) {
 	// Enqueue while holding the read lock. The queue is bounded, but
 	// progress is guaranteed: instances only exit after Close flips
 	// `closed`, and Close cannot flip it while we hold the read lock.
+	//lint:ignore lockedcallback send under closeMu.RLock is the shutdown protocol: instances drain the queue until Close flips closed, and Close cannot flip it while this read lock is held, so the send always progresses
 	b.queue <- r
 	b.closeMu.RUnlock()
 	// The response always arrives: either an instance executed the batch

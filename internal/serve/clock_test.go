@@ -1,0 +1,48 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+// TestBatchFormationDeterministicClock pins the batcher to a manual
+// clock: enqueue timestamps never move, so every batch-formation
+// observation must be exactly zero. Under the old time.Now plumbing this
+// histogram measured real queueing jitter and could not be asserted on.
+func TestBatchFormationDeterministicClock(t *testing.T) {
+	clk := clock.NewManual(time.Date(2025, 1, 6, 9, 0, 0, 0, time.UTC))
+	b := NewBatcherClock(4, time.Millisecond, 1, func(inputs [][]float64) ([][]float64, error) {
+		out := make([][]float64, len(inputs))
+		for i, in := range inputs {
+			out[i] = []float64{in[0] * 2}
+		}
+		return out, nil
+	}, clk)
+	bus := telemetry.New()
+	b.SetTelemetry(bus)
+
+	for i := 0; i < 8; i++ {
+		resp, err := b.Submit([]float64{float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Output) != 1 || resp.Output[0] != float64(i)*2 {
+			t.Fatalf("request %d: response %+v", i, resp)
+		}
+	}
+	b.Close()
+
+	form, ok := telemetry.Find(bus.Snapshot(), "serve.batch_form_seconds")
+	if !ok {
+		t.Fatal("serve.batch_form_seconds not recorded")
+	}
+	if form.Count == 0 {
+		t.Fatal("no formation observations recorded")
+	}
+	if form.Sum != 0 {
+		t.Errorf("formation sum = %v with a frozen clock, want exactly 0", form.Sum)
+	}
+}

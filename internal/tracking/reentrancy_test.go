@@ -1,0 +1,32 @@
+package tracking
+
+import "testing"
+
+// Regression (mlsyslint lockedcallback): SearchRuns used to invoke the
+// caller-provided filter while holding the store mutex, so a filter that
+// called back into the Store deadlocked. The filter now runs on a
+// snapshot outside the lock.
+func TestSearchRunsFilterMayReenter(t *testing.T) {
+	s := NewStore()
+	exp := s.CreateExperiment("reentrancy")
+	var ids []string
+	for i := 0; i < 3; i++ {
+		r, err := s.StartRun(exp.ID, "run")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, r.ID)
+	}
+	if err := s.EndRun(ids[0], StatusFinished); err != nil {
+		t.Fatal(err)
+	}
+	// Filter re-enters the Store: GetRun takes s.mu. Before the fix this
+	// deadlocked the test.
+	out := s.SearchRuns(exp.ID, func(r *Run) bool {
+		got, err := s.GetRun(r.ID)
+		return err == nil && got.Status == StatusFinished
+	})
+	if len(out) != 1 || out[0].ID != ids[0] {
+		t.Fatalf("reentrant filter returned %v, want exactly the finished run %s", out, ids[0])
+	}
+}

@@ -75,7 +75,8 @@ func (s *Store) CreateModelVersion(name, runID, artifactPath string) (*ModelVers
 		RunID:        runID,
 		ArtifactPath: artifactPath,
 		Stage:        StageNone,
-		CreatedAt:    s.now(),
+		//lint:ignore lockedcallback now is the store's injected time source, called under s.mu by design: the default counter clock mutates s.counter and relies on the lock for atomicity
+		CreatedAt: s.now(),
 	}
 	m.Versions = append(m.Versions, v)
 	return v, nil

@@ -136,8 +136,9 @@ func (s *Store) StartRun(experimentID, name string) (*Run, error) {
 		Tags:         map[string]string{},
 		Metrics:      map[string][]MetricPoint{},
 		Artifacts:    map[string][]byte{},
-		StartTime:    s.now(),
-		EndTime:      -1,
+		//lint:ignore lockedcallback now is the store's injected time source, called under s.mu by design: the default counter clock mutates s.counter and relies on the lock for atomicity
+		StartTime: s.now(),
+		EndTime:   -1,
 	}
 	s.runs[r.ID] = r
 	return r, nil
@@ -226,6 +227,7 @@ func (s *Store) EndRun(runID string, status RunStatus) error {
 		return err
 	}
 	r.Status = status
+	//lint:ignore lockedcallback now is the store's injected time source, called under s.mu by design: the default counter clock mutates s.counter and relies on the lock for atomicity
 	r.EndTime = s.now()
 	return nil
 }
@@ -242,15 +244,20 @@ func (s *Store) GetRun(runID string) (*Run, error) {
 }
 
 // SearchRuns returns an experiment's runs matching filter (nil = all),
-// sorted by start time then ID.
+// sorted by start time then ID. The filter runs outside the store lock
+// (on a snapshot of the experiment's runs), so it may safely call back
+// into the Store — e.g. GetRun on a parent run — without deadlocking.
 func (s *Store) SearchRuns(experimentID string, filter func(*Run) bool) []*Run {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []*Run
+	var candidates []*Run
 	for _, r := range s.runs {
-		if r.ExperimentID != experimentID {
-			continue
+		if r.ExperimentID == experimentID {
+			candidates = append(candidates, r)
 		}
+	}
+	s.mu.Unlock()
+	var out []*Run
+	for _, r := range candidates {
 		if filter == nil || filter(r) {
 			out = append(out, r)
 		}
