@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench repro csv examples clean
+.PHONY: build test vet lint race chaos check bench repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -21,10 +21,21 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# Seeded chaos suite: the fault-injection engine, the resilience
+# primitives, and the cross-package fault paths (host failure/evacuation,
+# quota-vs-lease races, dead-rank ring reformation, replica circuit
+# breaking), all under the race detector. Everything here is driven by
+# fixed seeds, so failures reproduce byte-for-byte.
+chaos:
+	$(GO) test -race -count=1 ./internal/chaos/ ./internal/resilience/
+	$(GO) test -race -count=1 -run 'Resilien|Fail|Errored|Reform|Replica|Evacuat|MTTR|TrySubmit|RetryPolicy|InjectedVolume' \
+		./internal/cloud/ ./internal/orchestrator/ ./internal/collective/ ./internal/serve/ ./internal/lease/ ./internal/jobs/ ./internal/blockstore/
+
 # Default verification path: compile, static checks (go vet plus the
-# repo's own mlsyslint pass), unit tests, then the race-enabled suite
-# (the concurrent batcher/telemetry tests need it).
-check: build vet lint test race
+# repo's own mlsyslint pass), unit tests, the race-enabled suite (the
+# concurrent batcher/telemetry tests need it), then the seeded chaos
+# suite.
+check: build vet lint test race chaos
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -12,6 +12,10 @@
 //	sched <policy> <jobs> <gpus>    run a synthetic scheduling trace
 //	batch <n>                       push n requests through a dynamic batcher
 //	advance <hours>                 advance virtual time
+//	hosts                           list hypervisors/bare-metal hosts and state
+//	fail <host>                     crash a host (instances on it error out)
+//	recover <host>                  bring a failed host back
+//	resilience                      show the fault-injection scorecard
 //	usage                           show metered hours by flavor
 //	quota                           show project quota usage
 //	metrics                         show telemetry counters/gauges/histograms
@@ -73,6 +77,7 @@ func main() {
 			fmt.Println("launch <name> <flavor> | delete <id> | list | fip <inst-id> |")
 			fmt.Println("volume <name> <GB> | attach <vol-id> <inst-id> |")
 			fmt.Println("reserve <start> <end> | sched <policy> <jobs> <gpus> | batch <n> |")
+			fmt.Println("hosts | fail <host> | recover <host> | resilience |")
 			fmt.Println("advance <hours> | usage | quota | metrics | events [n] | quit")
 		case "launch":
 			if len(fields) != 3 {
@@ -249,6 +254,36 @@ func main() {
 			b.Close()
 			batches, requests, mean := b.Stats()
 			fmt.Printf("%d requests in %d batches (mean batch %.1f)\n", requests, batches, mean)
+		case "hosts":
+			for _, h := range cl.Hosts() {
+				state := "up"
+				if h.Down {
+					state = "DOWN"
+				}
+				fmt.Printf("%-20s %-12s %-6s %2d vCPU %4d GB\n", h.Name, h.NodeType, state, h.VCPUs, h.RAMGB)
+			}
+		case "fail":
+			if len(fields) != 2 {
+				fmt.Println("usage: fail <host>")
+				break
+			}
+			if err := cl.FailHost(fields[1]); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Printf("%s is down; its instances are in error and stopped metering\n", fields[1])
+			}
+		case "recover":
+			if len(fields) != 2 {
+				fmt.Println("usage: recover <host>")
+				break
+			}
+			if err := cl.RecoverHost(fields[1]); err != nil {
+				fmt.Println(err)
+			} else {
+				fmt.Printf("%s is back; it accepts placements again\n", fields[1])
+			}
+		case "resilience":
+			fmt.Print(report.ResilienceSummary(bus))
 		case "metrics":
 			fmt.Print(report.Metrics(bus.Snapshot()))
 		case "events":

@@ -29,7 +29,17 @@ var (
 	ErrNotFormatted = errors.New("blockstore: volume is not formatted")
 	ErrNotMounted   = errors.New("blockstore: volume is not mounted")
 	ErrQuota        = errors.New("blockstore: block storage quota exceeded")
+	ErrVolumeFault  = errors.New("blockstore: I/O error (injected volume fault)")
 )
+
+// FaultView reports injected faults on volumes; chaos.Engine implements
+// it. A nil view (the default) means every volume is healthy, so chaos
+// support costs nothing when disabled.
+type FaultView interface {
+	// VolumeFault returns the I/O slowdown factor (0 or 1 = nominal) and
+	// whether the volume is hard-failed.
+	VolumeFault(volumeID string) (slowFactor float64, failed bool)
+}
 
 // VolumeState is the coarse lifecycle state.
 type VolumeState int
@@ -93,6 +103,41 @@ type Service struct {
 	nextID int
 
 	volRecs map[string]*cloud.UsageRecord
+	faults  FaultView // nil = no fault injection
+}
+
+// SetFaults attaches a fault view (typically a chaos.Engine). Call before
+// concurrent use.
+func (s *Service) SetFaults(fv FaultView) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.faults = fv
+}
+
+// ioCheckLocked fails the operation if the volume has a hard fault.
+func (s *Service) ioCheckLocked(volumeID string) error {
+	if s.faults == nil {
+		return nil
+	}
+	if _, failed := s.faults.VolumeFault(volumeID); failed {
+		return fmt.Errorf("%w: %s", ErrVolumeFault, volumeID)
+	}
+	return nil
+}
+
+// IOTime scales a nominal I/O duration by the volume's injected slowdown
+// (straggler storage); healthy volumes return baseHours unchanged.
+func (s *Service) IOTime(volumeID string, baseHours float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.faults == nil {
+		return baseHours
+	}
+	slow, _ := s.faults.VolumeFault(volumeID)
+	if slow > 1 {
+		return baseHours * slow
+	}
+	return baseHours
 }
 
 // New returns a service backed by the given cloud for quota accounting
@@ -257,6 +302,9 @@ func (s *Service) WriteFile(volumeID, path string, data []byte) error {
 	if v.MountPoint == "" {
 		return ErrNotMounted
 	}
+	if err := s.ioCheckLocked(v.ID); err != nil {
+		return err
+	}
 	v.Data[path] = append([]byte(nil), data...)
 	return nil
 }
@@ -271,6 +319,9 @@ func (s *Service) ReadFile(volumeID, path string) ([]byte, error) {
 	}
 	if v.MountPoint == "" {
 		return nil, ErrNotMounted
+	}
+	if err := s.ioCheckLocked(v.ID); err != nil {
+		return nil, err
 	}
 	data, ok := v.Data[path]
 	if !ok {

@@ -258,3 +258,61 @@ func TestUnmountAndErrors(t *testing.T) {
 		t.Errorf("get deleted err = %v", err)
 	}
 }
+
+// stubFaults is a hand-rolled FaultView for testing the injection seam
+// without importing the chaos package.
+type stubFaults struct {
+	slow   map[string]float64
+	failed map[string]bool
+}
+
+func (f stubFaults) VolumeFault(id string) (float64, bool) {
+	return f.slow[id], f.failed[id]
+}
+
+func TestInjectedVolumeFaults(t *testing.T) {
+	s, _, _ := newSvc()
+	v, err := s.Create("p", "data", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Attach(v.ID, "inst-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Format(v.ID, "ext4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Mount(v.ID, "/mnt"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteFile(v.ID, "a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	faults := stubFaults{slow: map[string]float64{}, failed: map[string]bool{}}
+	s.SetFaults(faults)
+	// Slowdown scales I/O time but leaves operations functional.
+	faults.slow[v.ID] = 8
+	if got := s.IOTime(v.ID, 0.5); got != 4 {
+		t.Fatalf("IOTime under 8x slowdown = %v, want 4", got)
+	}
+	if _, err := s.ReadFile(v.ID, "a"); err != nil {
+		t.Fatalf("slow volume must still serve reads: %v", err)
+	}
+	// Hard failure turns reads and writes into I/O errors.
+	faults.failed[v.ID] = true
+	if _, err := s.ReadFile(v.ID, "a"); !errors.Is(err, ErrVolumeFault) {
+		t.Fatalf("read on failed volume = %v, want ErrVolumeFault", err)
+	}
+	if err := s.WriteFile(v.ID, "b", []byte("y")); !errors.Is(err, ErrVolumeFault) {
+		t.Fatalf("write on failed volume = %v, want ErrVolumeFault", err)
+	}
+	// Recovery restores service; contents survived the outage.
+	faults.failed[v.ID] = false
+	faults.slow[v.ID] = 0
+	if got := s.IOTime(v.ID, 0.5); got != 0.5 {
+		t.Fatalf("IOTime after recovery = %v, want 0.5", got)
+	}
+	if data, err := s.ReadFile(v.ID, "a"); err != nil || string(data) != "x" {
+		t.Fatalf("contents lost across fault: %q, %v", data, err)
+	}
+}

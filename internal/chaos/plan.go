@@ -1,0 +1,208 @@
+// Package chaos is the deterministic fault-injection engine for the
+// course platform simulation. The paper's operational story is dominated
+// by things going wrong at inconvenient times — reserved GPU nodes dying
+// before a student's slot, stragglers stalling distributed training,
+// storage slowing to a crawl mid-lab — so the simulator needs a way to
+// reproduce those incidents exactly.
+//
+// Two properties are non-negotiable and shape the whole package:
+//
+//   - Determinism. A Plan is either hand-written or generated from a seed
+//     (splitmix/xoshiro via internal/stats); the Engine schedules every
+//     injection on the shared simclock. Same seed + same plan ⇒ the same
+//     faults at the same virtual instants ⇒ byte-identical resilience
+//     summaries across runs.
+//   - Zero overhead when off. An empty plan arms zero clock events and
+//     touches no shared state, so a chaos-disabled run is event-for-event
+//     identical to a build without the package.
+//
+// Wall-clock time is never consulted; mlsyslint's wallclock check keeps
+// it that way.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Kind enumerates the fault classes the engine can inject.
+type Kind int
+
+const (
+	// KindHostCrash downs a cloud host; every instance on it errors and
+	// the host rejects placements until recovery.
+	KindHostCrash Kind = iota
+	// KindInstanceCrash errors a single instance (kernel panic, OOM).
+	KindInstanceCrash
+	// KindLinkDegrade inflates latency and injects loss on a named
+	// network link; consumers query Engine.Link.
+	KindLinkDegrade
+	// KindVolumeSlow multiplies I/O time on a block-storage volume.
+	KindVolumeSlow
+	// KindVolumeFail makes a block-storage volume return I/O errors.
+	KindVolumeFail
+	// KindRankFail kills one rank of a collective (straggler taken to
+	// its limit); the ring must reform around it.
+	KindRankFail
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHostCrash:
+		return "host-crash"
+	case KindInstanceCrash:
+		return "instance-crash"
+	case KindLinkDegrade:
+		return "link-degrade"
+	case KindVolumeSlow:
+		return "volume-slow"
+	case KindVolumeFail:
+		return "volume-fail"
+	case KindRankFail:
+		return "rank-fail"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled injection.
+type Fault struct {
+	// At is the injection time in simulated hours.
+	At float64
+	// Kind selects the fault class.
+	Kind Kind
+	// Target names the victim: host name, instance ID, link name,
+	// volume ID, or decimal rank number, depending on Kind.
+	Target string
+	// Duration is hours until automatic recovery; <= 0 means the fault
+	// persists until something else (e.g. an operator command) clears it.
+	Duration float64
+	// Magnitude parameterises degradation faults: latency multiplier
+	// for link/volume slowness, drop probability for links (via
+	// DropProb), ignored for crash kinds.
+	Magnitude float64
+	// DropProb is the packet-loss probability for KindLinkDegrade.
+	DropProb float64
+}
+
+// Plan is an ordered fault schedule plus the seed that produced it (0 for
+// hand-written plans). Keeping the seed alongside the faults lets reports
+// cite exactly which chaos run produced a summary.
+type Plan struct {
+	Seed   uint64
+	Faults []Fault
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool { return len(p.Faults) == 0 }
+
+// sorted returns the faults ordered by (At, Kind, Target) so arming a
+// plan is independent of how it was assembled.
+func (p Plan) sorted() []Fault {
+	out := append([]Fault(nil), p.Faults...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Target < out[j].Target
+	})
+	return out
+}
+
+// GenSpec parameterises Generate. Each category is driven by a mean time
+// between faults (MTBF, hours, across the whole target list); a zero MTBF
+// or empty target list disables that category.
+type GenSpec struct {
+	// Horizon bounds fault injection times to [0, Horizon).
+	Horizon float64
+
+	Hosts     []string // host-crash victims
+	Instances []string // instance-crash victims
+	Links     []string // link-degrade victims
+	Volumes   []string // volume slow/fail victims
+	Ranks     int      // rank-fail victims are 0..Ranks-1
+
+	HostCrashMTBF     float64
+	InstanceCrashMTBF float64
+	LinkDegradeMTBF   float64
+	VolumeFaultMTBF   float64
+	RankFailMTBF      float64
+
+	// MeanRepairHours is the mean injected-fault duration (exponential).
+	// Zero means faults are permanent.
+	MeanRepairHours float64
+}
+
+// Generate builds a random-but-reproducible plan from a seed. Each fault
+// category draws from its own RNG split, so adding hosts to the spec does
+// not perturb, say, the volume-fault sequence.
+func Generate(seed uint64, spec GenSpec) Plan {
+	root := stats.NewRNG(seed)
+	p := Plan{Seed: seed}
+	gen := func(label uint64, mtbf float64, pick func(r *stats.RNG) (Kind, string, float64, float64)) {
+		if mtbf <= 0 {
+			return
+		}
+		r := root.Split(label)
+		for t := expDraw(r, mtbf); t < spec.Horizon; t += expDraw(r, mtbf) {
+			kind, target, mag, drop := pick(r)
+			if target == "" {
+				continue
+			}
+			dur := 0.0
+			if spec.MeanRepairHours > 0 {
+				dur = expDraw(r, spec.MeanRepairHours)
+			}
+			p.Faults = append(p.Faults, Fault{
+				At: t, Kind: kind, Target: target,
+				Duration: dur, Magnitude: mag, DropProb: drop,
+			})
+		}
+	}
+	gen(1, spec.HostCrashMTBF, func(r *stats.RNG) (Kind, string, float64, float64) {
+		return KindHostCrash, pickString(r, spec.Hosts), 0, 0
+	})
+	gen(2, spec.InstanceCrashMTBF, func(r *stats.RNG) (Kind, string, float64, float64) {
+		return KindInstanceCrash, pickString(r, spec.Instances), 0, 0
+	})
+	gen(3, spec.LinkDegradeMTBF, func(r *stats.RNG) (Kind, string, float64, float64) {
+		// Latency blows up 2–20x; a few percent of packets drop.
+		return KindLinkDegrade, pickString(r, spec.Links), r.Uniform(2, 20), r.Uniform(0, 0.05)
+	})
+	gen(4, spec.VolumeFaultMTBF, func(r *stats.RNG) (Kind, string, float64, float64) {
+		if r.Bool(0.25) { // a quarter of storage faults are hard failures
+			return KindVolumeFail, pickString(r, spec.Volumes), 0, 0
+		}
+		return KindVolumeSlow, pickString(r, spec.Volumes), r.Uniform(3, 50), 0
+	})
+	gen(5, spec.RankFailMTBF, func(r *stats.RNG) (Kind, string, float64, float64) {
+		if spec.Ranks <= 0 {
+			return KindRankFail, "", 0, 0
+		}
+		return KindRankFail, fmt.Sprintf("%d", r.Intn(spec.Ranks)), 0, 0
+	})
+	p.Faults = p.sorted()
+	return p
+}
+
+// expDraw samples an exponential with the given mean.
+func expDraw(r *stats.RNG, mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1-u) * mean
+}
+
+func pickString(r *stats.RNG, list []string) string {
+	if len(list) == 0 {
+		return ""
+	}
+	return list[r.Intn(len(list))]
+}

@@ -200,6 +200,7 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 		Tags:       copyTags(spec.Tags),
 		LaunchedAt: c.clock.Now(),
 		DeletedAt:  -1,
+		FailedAt:   -1,
 	}
 	if spec.NetworkID != "" {
 		n, ok := c.networks[spec.NetworkID]
@@ -240,6 +241,21 @@ func (c *Cloud) deleteLocked(instanceID string) error {
 	}
 	if inst.State == StateDeleted {
 		return ErrAlreadyDeleted
+	}
+	if inst.State == StateError {
+		// Capacity, quota, floating IP and the meter record were all
+		// released when the instance failed; deleting the wreck (e.g. a
+		// lease expiry racing a host crash) must not free them twice.
+		inst.State = StateDeleted
+		inst.DeletedAt = c.clock.Now()
+		c.tel.Counter("cloud.deletes").Inc()
+		c.tel.Emit("cloud.instance.delete",
+			telemetry.String("id", inst.ID),
+			telemetry.String("project", inst.Project),
+			telemetry.String("flavor", inst.Flavor.Name),
+			telemetry.String("was", "ERROR"),
+			telemetry.Float("t", c.clock.Now()))
+		return nil
 	}
 	if inst.FloatingIP != "" {
 		for _, f := range c.fips {

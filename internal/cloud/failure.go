@@ -1,0 +1,148 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// Failure-injection errors.
+var (
+	ErrHostDown   = errors.New("cloud: host is already down")
+	ErrHostUp     = errors.New("cloud: host is not down")
+	ErrNotRunning = errors.New("cloud: instance is not running")
+)
+
+// FailHost crashes a host: every running instance on it enters ERROR
+// with its end time stamped (metering and billing stop at the failure
+// instant), capacity and quota are released, and the host stops
+// accepting placements until RecoverHost. This is the API the chaos
+// engine drives; cloud.StateError is reachable only through here and
+// FailInstance.
+func (c *Cloud) FailHost(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.hostLocked(name)
+	if h == nil {
+		return fmt.Errorf("%w: host %q", ErrNotFound, name)
+	}
+	if h.Down {
+		return fmt.Errorf("%w: %q", ErrHostDown, name)
+	}
+	h.Down = true
+	// Fail instances in ID order so the emitted event sequence — and
+	// therefore every downstream summary — is deterministic.
+	ids := make([]string, 0, len(h.instances))
+	for id := range h.instances {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c.failInstanceLocked(h.instances[id], "host "+name+" crashed")
+	}
+	c.tel.Counter("cloud.host_failures").Inc()
+	c.tel.Gauge("cloud.hosts_down").Add(1)
+	c.tel.Emit("cloud.host.fail",
+		telemetry.String("host", name),
+		telemetry.Int("instances_lost", len(ids)),
+		telemetry.Float("t", c.clock.Now()))
+	return nil
+}
+
+// RecoverHost brings a crashed host back into the placement pool. Its
+// former instances stay in ERROR (cloud instances do not resurrect; the
+// orchestrator reschedules replacements instead).
+func (c *Cloud) RecoverHost(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	h := c.hostLocked(name)
+	if h == nil {
+		return fmt.Errorf("%w: host %q", ErrNotFound, name)
+	}
+	if !h.Down {
+		return fmt.Errorf("%w: %q", ErrHostUp, name)
+	}
+	h.Down = false
+	c.tel.Counter("cloud.host_recoveries").Inc()
+	c.tel.Gauge("cloud.hosts_down").Add(-1)
+	c.tel.Emit("cloud.host.recover",
+		telemetry.String("host", name),
+		telemetry.Float("t", c.clock.Now()))
+	return nil
+}
+
+// FailInstance crashes a single instance (kernel panic, OOM kill, ...):
+// it enters ERROR with the end time stamped, and its capacity and quota
+// are released. The host stays up.
+func (c *Cloud) FailInstance(instanceID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	inst, ok := c.instances[instanceID]
+	if !ok {
+		return fmt.Errorf("%w: instance %q", ErrNotFound, instanceID)
+	}
+	if !inst.Running() {
+		return fmt.Errorf("%w: %s is %s", ErrNotRunning, instanceID, inst.State)
+	}
+	c.failInstanceLocked(inst, "instance fault injected")
+	return nil
+}
+
+// failInstanceLocked moves a running instance to ERROR, releasing
+// everything it held: host capacity, project quota, any floating-IP
+// association, and its open meter record (closed at the failure time, so
+// accrued hours stop here — the HoursAt contract).
+func (c *Cloud) failInstanceLocked(inst *Instance, reason string) {
+	if !inst.Running() {
+		return
+	}
+	now := c.clock.Now()
+	if inst.FloatingIP != "" {
+		for _, f := range c.fips {
+			if f.InstanceID == inst.ID {
+				f.InstanceID = ""
+				break
+			}
+		}
+		inst.FloatingIP = ""
+	}
+	for _, h := range c.hosts {
+		if h.Name == inst.Host {
+			h.evict(inst)
+			break
+		}
+	}
+	p := c.projects[inst.Project]
+	p.Usage.Instances--
+	p.Usage.Cores -= inst.Flavor.VCPUs
+	p.Usage.RAMGB -= inst.Flavor.RAMGB
+	inst.State = StateError
+	inst.FailedAt = now
+	inst.FailReason = reason
+	c.meter.Close(c.instRecs[inst.ID], now)
+	delete(c.instRecs, inst.ID)
+	c.tel.Counter("cloud.instance_failures").Inc()
+	c.tel.Counter("cloud.meter.closed").Inc()
+	c.tel.Gauge("cloud.instances_active").Add(-1)
+	c.tel.Histogram("cloud.instance_hours", telemetry.ExpBuckets(0.25, 2, 12)).
+		Observe(inst.FailedAt - inst.LaunchedAt)
+	c.tel.Emit("cloud.instance.error",
+		telemetry.String("id", inst.ID),
+		telemetry.String("project", inst.Project),
+		telemetry.String("flavor", inst.Flavor.Name),
+		telemetry.String("reason", reason),
+		telemetry.Float("hours", inst.FailedAt-inst.LaunchedAt),
+		telemetry.Float("t", now))
+}
+
+// hostLocked finds a host by name (nil if absent).
+func (c *Cloud) hostLocked(name string) *Host {
+	for _, h := range c.hosts {
+		if h.Name == name {
+			return h
+		}
+	}
+	return nil
+}

@@ -33,7 +33,8 @@ func (s InstanceState) String() string {
 
 // Instance is a provisioned compute resource: VM, bare-metal node, or edge
 // device. Billing runs from LaunchedAt until DeletedAt regardless of
-// SHUTOFF state, matching on-demand cloud billing for reserved capacity.
+// SHUTOFF state, matching on-demand cloud billing for reserved capacity;
+// an instance that enters ERROR stops accruing at FailedAt.
 type Instance struct {
 	ID      string
 	Name    string
@@ -52,14 +53,24 @@ type Instance struct {
 
 	LaunchedAt float64
 	DeletedAt  float64 // -1 while running
+	FailedAt   float64 // -1 unless the instance entered ERROR
+	// FailReason records why the instance errored (host crash, injected
+	// instance fault, ...), for post-mortem correlation with chaos plans.
+	FailReason string
 }
 
 // Running reports whether the instance still accrues usage.
 func (i *Instance) Running() bool { return i.State != StateDeleted && i.State != StateError }
 
-// HoursAt returns accrued instance hours as of time now.
+// HoursAt returns accrued instance hours as of time now. Metering stops
+// at the earliest terminal event: failure (FailedAt) or deletion
+// (DeletedAt) — an errored instance does no useful work and Chameleon
+// does not bill for it, so neither do we.
 func (i *Instance) HoursAt(now float64) float64 {
 	end := i.DeletedAt
+	if i.FailedAt >= 0 && (end < 0 || i.FailedAt < end) {
+		end = i.FailedAt
+	}
 	if end < 0 {
 		end = now
 	}
@@ -83,6 +94,10 @@ type Host struct {
 	VCPUs int
 	RAMGB int
 
+	// Down marks a crashed host (set by Cloud.FailHost). Down hosts
+	// accept no placements until RecoverHost brings them back.
+	Down bool
+
 	allocVCPUs int
 	allocRAMGB int
 	instances  map[string]*Instance
@@ -102,7 +117,13 @@ func NewBareMetalHost(name string, nodeType Flavor) *Host {
 }
 
 // Fits reports whether the host can accept an instance of flavor f.
+// Down hosts never fit, so every placement policy — first-fit, best-fit,
+// worst-fit, and the sched package's packers — avoids crashed hardware
+// without knowing about failures.
 func (h *Host) Fits(f Flavor) bool {
+	if h.Down {
+		return false
+	}
 	if h.Class != f.Class {
 		return false
 	}

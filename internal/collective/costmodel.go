@@ -56,6 +56,24 @@ func (m CostModel) Central(n int, bytes float64) float64 {
 	return 2 * (fn - 1) * (m.Alpha + bytes*m.Beta)
 }
 
+// RingWithReformation returns the predicted seconds for a ring
+// all-reduce that loses failed ranks mid-collective: the survivors burn
+// detectTimeout seconds waiting out the dead ranks' silence, exchange
+// one membership control round (alpha per surviving edge), and rerun the
+// collective over the reformed n−failed ring. This is the cost the chaos
+// experiments charge a KindRankFail fault.
+func (m CostModel) RingWithReformation(n, failed int, bytes, detectTimeout float64) float64 {
+	if failed <= 0 {
+		return m.Ring(n, bytes)
+	}
+	survivors := n - failed
+	if survivors <= 0 {
+		return detectTimeout
+	}
+	reform := float64(survivors) * m.Alpha
+	return detectTimeout + reform + m.Ring(survivors, bytes)
+}
+
 // RingCrossoverBytes returns the payload size above which ring beats tree
 // under this model (solving Ring(n,b) = Tree(n,b)); +Inf if ring never
 // wins, 0 if it always does.

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/clock"
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
 
@@ -54,9 +56,26 @@ type Pool struct {
 	wg     sync.WaitGroup
 	closed bool
 	tel    *telemetry.Bus
+	// retry policy (resilience.Retrier); nil backoff retries immediately
+	// and nil sleep records delays without waiting — the deterministic
+	// simulation default.
+	backoff *resilience.Backoff
+	sleep   resilience.Sleeper
 	// stats
 	executed int
 	retried  int
+}
+
+// SetRetryPolicy installs a backoff policy (and optionally a sleeper)
+// for task retries. With a nil sleeper the computed delays are recorded
+// in telemetry but not waited out, which keeps simulations virtual-time
+// pure while still exercising the backoff math. Call before the first
+// Submit.
+func (p *Pool) SetRetryPolicy(b *resilience.Backoff, s resilience.Sleeper) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.backoff = b
+	p.sleep = s
 }
 
 type submission struct {
@@ -111,22 +130,46 @@ func (p *Pool) worker() {
 		tel := p.telemetry()
 		tel.Histogram("jobs.worker_stall_seconds", telemetry.LatencyBuckets()).
 			Observe(clock.Since(p.clk, idleSince).Seconds())
+		p.mu.Lock()
+		backoff, sleep := p.backoff, p.sleep
+		p.mu.Unlock()
 		res := Result{}
-		for attempt := 0; attempt <= p.MaxRetries; attempt++ {
-			res.Attempts++
-			v, err := runProtected(sub.task)
-			if err == nil {
-				res.Value, res.Err = v, nil
-				break
-			}
-			res.Err = err
+		countFailure := func(attempts int, err error, delay time.Duration) {
 			p.mu.Lock()
 			p.retried++
 			p.mu.Unlock()
 			tel.Counter("jobs.retries").Inc()
 			tel.Emit("jobs.retry",
-				telemetry.Int("attempt", res.Attempts),
+				telemetry.Int("attempt", attempts),
+				telemetry.Float("backoff_ms", float64(delay)/float64(time.Millisecond)),
 				telemetry.String("error", err.Error()))
+		}
+		r := resilience.Retrier{
+			Budget:  p.MaxRetries + 1,
+			Backoff: backoff,
+			Sleep:   sleep,
+			OnRetry: func(attempt int, err error, delay time.Duration) {
+				countFailure(attempt+1, err, delay)
+			},
+		}
+		out, err := r.Do(func(int) error {
+			v, taskErr := runProtected(sub.task)
+			if taskErr != nil {
+				return taskErr
+			}
+			res.Value = v
+			return nil
+		})
+		res.Attempts = out.Attempts
+		if err != nil {
+			// Surface the task's own error, not the budget wrapper, to
+			// keep the Ray-style API: callers see what the task returned.
+			res.Err = errors.Unwrap(err)
+			countFailure(out.Attempts, res.Err, 0)
+		}
+		if out.Backoff > 0 {
+			tel.Histogram("jobs.retry_backoff_seconds", telemetry.LatencyBuckets()).
+				Observe(out.Backoff.Seconds())
 		}
 		p.mu.Lock()
 		p.executed++

@@ -3,7 +3,9 @@ package jobs
 import (
 	"errors"
 	"testing"
+	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/telemetry"
 )
 
@@ -46,5 +48,41 @@ func TestPoolTelemetry(t *testing.T) {
 	}
 	if retryEvents != 2 {
 		t.Errorf("%d jobs.retry events, want 2", retryEvents)
+	}
+}
+
+// Retries flow through resilience.Retrier: an installed backoff policy is
+// consulted per retry and the total requested delay is accounted in
+// telemetry — without the pool ever sleeping (nil Sleeper), so the test
+// finishes instantly.
+func TestRetryPolicyBackoffAccounted(t *testing.T) {
+	bus := telemetry.New()
+	p := NewPool(1, 2)
+	p.SetTelemetry(bus)
+	p.SetRetryPolicy(resilience.NewBackoff(100*time.Millisecond, 2, 0, 0, 1), nil)
+	defer p.Close()
+
+	fails := 0
+	f, err := p.Submit(func() (float64, error) {
+		if fails < 2 {
+			fails++
+			return 0, errors.New("transient")
+		}
+		return 7, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := f.Get()
+	if res.Err != nil || res.Value != 7 || res.Attempts != 3 {
+		t.Fatalf("result = %+v, want value 7 in 3 attempts", res)
+	}
+	// Delays requested: 100ms then 200ms = 0.3s total, recorded not slept.
+	m, ok := telemetry.Find(bus.Snapshot(), "jobs.retry_backoff_seconds")
+	if !ok || m.Count != 1 {
+		t.Fatalf("retry_backoff histogram = %+v, want 1 observation", m)
+	}
+	if m.Sum != 0.3 {
+		t.Fatalf("total backoff = %v s, want 0.3", m.Sum)
 	}
 }

@@ -240,9 +240,19 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 			return
 		}
 		if err != nil {
-			// Pool accounting guarantees capacity; a persistent failure
-			// here is a simulation bug, so surface it loudly.
-			panic(fmt.Sprintf("lease: launch for %s failed: %v", r.ID, err))
+			// Pool accounting used to guarantee capacity here, but hosts
+			// can crash now (cloud.FailHost / the chaos engine), so a
+			// failed activation is a legitimate outcome: record it and
+			// leave the reservation instance-less instead of panicking.
+			// Students saw exactly this on Chameleon when a reserved node
+			// died before their slot.
+			s.tel.Counter("lease.launch_failures").Inc()
+			s.tel.Emit("lease.launch_fail",
+				telemetry.String("id", r.ID),
+				telemetry.String("node", r.Node),
+				telemetry.String("reason", err.Error()),
+				telemetry.Float("t", s.clock.Now()))
+			return
 		}
 		s.mu.Lock()
 		r.InstanceID = inst.ID

@@ -1,0 +1,88 @@
+package orchestrator
+
+import (
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/telemetry"
+)
+
+// SyncFromCloud reconciles node readiness with the cloud's view of the
+// instances backing them: a cluster node whose backing instance (matched
+// by instance Name == node name) has entered ERROR is marked not-ready as
+// of the instance's failure time, and a node whose instance is running
+// again is marked ready. It then drives reconciliation to a fixed point,
+// evacuating pods off dead nodes and rescheduling them elsewhere.
+//
+// This is the detection half of the failure story: the chaos engine
+// crashes hosts at the cloud layer, and the orchestrator notices through
+// this sync — exactly the kubelet-heartbeat path the labs hand-wave.
+// It returns the number of reconcile actions taken.
+func (c *Cluster) SyncFromCloud(cl *cloud.Cloud) int {
+	insts := cl.List(func(*cloud.Instance) bool { return true })
+	// Several instances can share a node's name over time (the wreck plus
+	// its replacement); the node's state follows the best candidate —
+	// running beats dead, then newest launch, then ID for determinism.
+	byName := map[string]*cloud.Instance{}
+	for _, inst := range insts {
+		cur, ok := byName[inst.Name]
+		if !ok || better(inst, cur) {
+			byName[inst.Name] = inst
+		}
+	}
+	c.mu.Lock()
+	for _, name := range c.nodeNamesLocked() {
+		n := c.nodes[name]
+		inst, ok := byName[name]
+		if !ok {
+			continue // node not cloud-backed; leave it alone
+		}
+		switch {
+		case n.Ready && !inst.Running():
+			n.Ready = false
+			// Backdate the failure to the instance's stamped end time so
+			// MTTR measures from the crash, not from this sync.
+			failedAt := inst.FailedAt
+			if failedAt < 0 {
+				failedAt = inst.DeletedAt
+			}
+			if failedAt < 0 {
+				failedAt = c.nowLocked()
+			}
+			c.downSince[name] = failedAt
+			c.tel.Counter("orchestrator.node_failures").Inc()
+			c.tel.Emit("orchestrator.node_down",
+				telemetry.String("node", name),
+				telemetry.String("reason", inst.FailReason),
+				telemetry.Float("failed_at", failedAt),
+				telemetry.Float("t", c.nowLocked()))
+		case !n.Ready && inst.Running():
+			n.Ready = true
+			delete(c.downSince, name)
+			c.tel.Emit("orchestrator.node_up",
+				telemetry.String("node", name),
+				telemetry.Float("t", c.nowLocked()))
+		}
+	}
+	c.mu.Unlock()
+	return c.ReconcileToFixedPoint()
+}
+
+func better(a, b *cloud.Instance) bool {
+	if a.Running() != b.Running() {
+		return a.Running()
+	}
+	if a.LaunchedAt != b.LaunchedAt {
+		return a.LaunchedAt > b.LaunchedAt
+	}
+	return a.ID > b.ID
+}
+
+func (c *Cluster) nodeNamesLocked() []string {
+	names := make([]string, 0, len(c.nodes))
+	for n := range c.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -15,6 +15,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
 )
 
 // Errors returned by the cluster API.
@@ -111,6 +114,22 @@ type Cluster struct {
 	nextPod     int
 	// events records reconciliation actions for observability and tests.
 	events []string
+
+	tel *telemetry.Bus  // nil disables instrumentation
+	clk *simclock.Clock // nil means "time stands at 0" (MTTR reads 0)
+
+	// downSince records when each non-ready node went down, so the
+	// recovery time of its evicted pods can be measured from the failure
+	// instant, not from whenever Reconcile got around to noticing.
+	downSince map[string]float64
+	// repairs holds, per deployment, the failure times of pods evicted
+	// because their node died (FIFO). Each subsequent scale-up pop is a
+	// completed repair whose latency feeds the MTTR metric.
+	repairs map[string][]float64
+
+	evictions   int64
+	reschedules int64
+	mttrSum     float64
 }
 
 // NewCluster returns an empty cluster.
@@ -120,7 +139,52 @@ func NewCluster() *Cluster {
 		deployments: map[string]*Deployment{},
 		pods:        map[string]*Pod{},
 		services:    map[string]*Service{},
+		downSince:   map[string]float64{},
+		repairs:     map[string][]float64{},
 	}
+}
+
+// SetTelemetry attaches a telemetry bus; reconciliation actions
+// (evictions, reschedules, rolling updates) and repair latency are
+// instrumented. Call before concurrent use.
+func (c *Cluster) SetTelemetry(b *telemetry.Bus) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tel = b
+}
+
+// SetClock attaches the simulation clock used to timestamp failures and
+// measure repair latency. Without it the cluster still works, but every
+// MTTR sample reads 0.
+func (c *Cluster) SetClock(clk *simclock.Clock) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clk = clk
+}
+
+func (c *Cluster) nowLocked() float64 {
+	if c.clk == nil {
+		return 0
+	}
+	return c.clk.Now()
+}
+
+// ResilienceStats summarises failure handling since cluster creation.
+type ResilienceStats struct {
+	Evictions   int64   // pods lost to node failures
+	Reschedules int64   // replacement pods started after such evictions
+	MeanMTTRHrs float64 // mean eviction -> replacement latency (sim hours)
+}
+
+// Resilience returns the cluster's failure-handling counters.
+func (c *Cluster) Resilience() ResilienceStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := ResilienceStats{Evictions: c.evictions, Reschedules: c.reschedules}
+	if c.reschedules > 0 {
+		s.MeanMTTRHrs = c.mttrSum / float64(c.reschedules)
+	}
+	return s
 }
 
 // AddNode registers a ready worker node.
@@ -142,7 +206,20 @@ func (c *Cluster) SetNodeReady(name string, ready bool) error {
 	if !ok {
 		return fmt.Errorf("%w: node %q", ErrNotFound, name)
 	}
+	if n.Ready == ready {
+		return nil
+	}
 	n.Ready = ready
+	if ready {
+		delete(c.downSince, name)
+		c.tel.Emit("orchestrator.node_up", telemetry.String("node", name),
+			telemetry.Float("t", c.nowLocked()))
+	} else {
+		c.downSince[name] = c.nowLocked()
+		c.tel.Counter("orchestrator.node_failures").Inc()
+		c.tel.Emit("orchestrator.node_down", telemetry.String("node", name),
+			telemetry.Float("t", c.nowLocked()))
+	}
 	return nil
 }
 
@@ -168,6 +245,7 @@ func (c *Cluster) DeleteDeployment(name string) error {
 		return fmt.Errorf("%w: deployment %q", ErrNotFound, name)
 	}
 	delete(c.deployments, name)
+	delete(c.repairs, name) // outstanding repairs die with the deployment
 	for _, p := range c.pods {
 		if p.Deployment == name {
 			c.terminateLocked(p)
@@ -212,14 +290,30 @@ func (c *Cluster) Reconcile() int {
 	defer c.mu.Unlock()
 	actions := 0
 
-	// 1. Terminate pods on non-ready nodes.
-	for _, p := range c.pods {
+	// 1. Terminate pods on non-ready nodes. Iterate in name order so the
+	// eviction (and therefore repair-queue) sequence is deterministic.
+	for _, name := range c.podNamesLocked() {
+		p := c.pods[name]
 		if p.Phase != PodRunning {
 			continue
 		}
 		if n, ok := c.nodes[p.Node]; !ok || !n.Ready {
+			node := p.Node
 			c.terminateLocked(p)
 			c.events = append(c.events, fmt.Sprintf("evict %s (node down)", p.Name))
+			// A pod lost to hardware is "broken" from the moment the
+			// node died, not the moment we noticed.
+			failedAt, ok := c.downSince[node]
+			if !ok {
+				failedAt = c.nowLocked()
+			}
+			c.repairs[p.Deployment] = append(c.repairs[p.Deployment], failedAt)
+			c.evictions++
+			c.tel.Counter("orchestrator.evictions").Inc()
+			c.tel.Emit("orchestrator.evict",
+				telemetry.String("pod", p.Name),
+				telemetry.String("node", node),
+				telemetry.Float("t", c.nowLocked()))
 			actions++
 		}
 	}
@@ -234,6 +328,11 @@ func (c *Cluster) Reconcile() int {
 			if p.Spec != d.Spec {
 				c.terminateLocked(p)
 				c.events = append(c.events, fmt.Sprintf("roll %s (spec change)", p.Name))
+				c.tel.Counter("orchestrator.rolling_updates").Inc()
+				c.tel.Emit("orchestrator.rolling_update",
+					telemetry.String("pod", p.Name),
+					telemetry.String("deployment", d.Name),
+					telemetry.Float("t", c.nowLocked()))
 				actions++
 				break
 			}
@@ -254,10 +353,28 @@ func (c *Cluster) Reconcile() int {
 			p, err := c.scheduleLocked(d)
 			if err != nil {
 				c.events = append(c.events, fmt.Sprintf("pending %s: %v", d.Name, err))
+				c.tel.Counter("orchestrator.unschedulable").Inc()
 				break // leave the deployment under-replicated
 			}
 			live = append(live, p)
 			c.events = append(c.events, fmt.Sprintf("start %s on %s", p.Name, p.Node))
+			// If this deployment has outstanding failure-driven repairs,
+			// this pod completes the oldest one; its latency since the
+			// node death is one MTTR sample.
+			if q := c.repairs[d.Name]; len(q) > 0 {
+				mttr := c.nowLocked() - q[0]
+				c.repairs[d.Name] = q[1:]
+				c.reschedules++
+				c.mttrSum += mttr
+				c.tel.Counter("orchestrator.reschedules").Inc()
+				c.tel.Histogram("orchestrator.reschedule_latency_hours",
+					telemetry.ExpBuckets(0.25, 2, 10)).Observe(mttr)
+				c.tel.Emit("orchestrator.reschedule",
+					telemetry.String("pod", p.Name),
+					telemetry.String("node", p.Node),
+					telemetry.Float("mttr_hours", mttr),
+					telemetry.Float("t", c.nowLocked()))
+			}
 			actions++
 		}
 	}
@@ -277,6 +394,15 @@ func (c *Cluster) ReconcileToFixedPoint() int {
 		}
 	}
 	panic("orchestrator: reconcile did not converge in 1000 iterations")
+}
+
+func (c *Cluster) podNamesLocked() []string {
+	names := make([]string, 0, len(c.pods))
+	for n := range c.pods {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 func (c *Cluster) deploymentNamesLocked() []string {

@@ -1,0 +1,165 @@
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// ErrOpen is returned by Breaker.Do while the circuit is open.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerState is the classic three-state circuit-breaker machine.
+type BreakerState int
+
+const (
+	// Closed passes every call through, counting consecutive failures.
+	Closed BreakerState = iota
+	// Open rejects calls until the cooldown elapses.
+	Open
+	// HalfOpen admits one probe call; its outcome decides the next state.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// Breaker trips after Threshold consecutive failures and stays open for
+// Cooldown, after which a single probe is admitted (half-open). A probe
+// success closes the circuit; a probe failure reopens it for another
+// cooldown. Time is read from the injected clock, so breakers embedded
+// in simulations open and close on virtual time.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	clk       clock.Clock
+
+	mu       sync.Mutex
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+
+	opens     int64 // lifetime trips, for resilience reporting
+	rejected  int64
+	succeeded int64
+	failed    int64
+}
+
+// NewBreaker returns a closed breaker. threshold < 1 is treated as 1; a
+// nil clk falls back to the machine clock (entry points only — inject a
+// Sim or Manual clock everywhere else).
+func NewBreaker(threshold int, cooldown time.Duration, clk clock.Clock) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, clk: clk}
+}
+
+// Allow reports whether a call may proceed, transitioning Open→HalfOpen
+// once the cooldown has elapsed. In half-open, only the first caller is
+// admitted (the probe); others are rejected until the probe resolves.
+func (b *Breaker) Allow() bool {
+	// Read the clock before taking the lock: clock implementations may
+	// themselves lock, and holding two locks invites ordering bugs.
+	now := b.clk.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if now.Sub(b.openedAt) >= b.cooldown {
+			b.state = HalfOpen
+			b.probing = true
+			return true
+		}
+		b.rejected++
+		return false
+	default: // HalfOpen
+		if !b.probing {
+			b.probing = true
+			return true
+		}
+		b.rejected++
+		return false
+	}
+}
+
+// Success records a successful call, closing the circuit from half-open
+// and resetting the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.succeeded++
+	b.fails = 0
+	b.probing = false
+	b.state = Closed
+}
+
+// Failure records a failed call: it reopens a half-open circuit
+// immediately and trips a closed one at the threshold.
+func (b *Breaker) Failure() {
+	now := b.clk.Now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failed++
+	b.probing = false
+	if b.state == HalfOpen {
+		b.state = Open
+		b.openedAt = now
+		b.opens++
+		return
+	}
+	b.fails++
+	if b.state == Closed && b.fails >= b.threshold {
+		b.state = Open
+		b.openedAt = now
+		b.opens++
+	}
+}
+
+// Do runs fn through the breaker: ErrOpen without calling fn when the
+// circuit rejects, otherwise fn's error with the outcome recorded.
+func (b *Breaker) Do(fn func() error) error {
+	if !b.Allow() {
+		return ErrOpen
+	}
+	if err := fn(); err != nil {
+		b.Failure()
+		return err
+	}
+	b.Success()
+	return nil
+}
+
+// State returns the current state (resolving an elapsed cooldown is left
+// to Allow; State is a pure read).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats reports lifetime trips, rejected calls, successes and failures.
+func (b *Breaker) Stats() (opens, rejected, succeeded, failed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.rejected, b.succeeded, b.failed
+}

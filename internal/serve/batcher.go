@@ -201,6 +201,22 @@ func (b *Batcher) Submit(input []float64) (Response, error) {
 	return resp, nil
 }
 
+// TrySubmit is Submit with load shedding: when the queue is already at
+// capacity the request is rejected immediately with ErrOverloaded
+// instead of blocking the caller — shedding beats collapse under
+// saturation. The occupancy check is advisory (another submitter can win
+// the last slot between check and enqueue), in which case the request
+// briefly blocks like a plain Submit; the bound on queue depth is what
+// matters, not exactness.
+func (b *Batcher) TrySubmit(input []float64) (Response, error) {
+	if len(b.queue) >= cap(b.queue) {
+		b.tel.Counter("serve.shed").Inc()
+		b.tel.Emit("serve.shed")
+		return Response{}, ErrOverloaded
+	}
+	return b.Submit(input)
+}
+
 // Close stops the instances. In-flight batches finish; queued requests
 // that were never collected receive ErrBatcherClosed. Close is
 // idempotent and blocks until every accepted request has been answered.

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/resilience"
+	"repro/internal/telemetry"
+)
+
+// ErrNoReplicas is returned by ReplicaSet.Do when no replica has been
+// registered.
+var ErrNoReplicas = errors.New("serve: no replicas registered")
+
+// ReplicaSet fronts a group of model-serving replicas the way a serving
+// gateway fronts Triton instances: requests round-robin across healthy
+// replicas, each replica is guarded by a circuit breaker so a crashed or
+// flapping backend stops receiving traffic, and when every usable
+// replica is saturated the request is shed with an explicit
+// ErrOverloaded instead of queueing without bound — the failure mode the
+// Unit-6 lab teaches students to prefer over collapse.
+type ReplicaSet struct {
+	clk       clock.Clock
+	tel       *telemetry.Bus
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	replicas []*replica
+	rr       int
+	shed     int64
+}
+
+type replica struct {
+	name      string
+	capacity  int
+	inflight  int
+	breaker   *resilience.Breaker
+	lastState resilience.BreakerState
+}
+
+// NewReplicaSet returns an empty set. Each replica's breaker trips after
+// threshold consecutive failures and probes again after cooldown on the
+// given clock (nil = machine clock; simulations pass clock.Sim). tel may
+// be nil.
+func NewReplicaSet(threshold int, cooldown time.Duration, clk clock.Clock, tel *telemetry.Bus) *ReplicaSet {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &ReplicaSet{clk: clk, tel: tel, threshold: threshold, cooldown: cooldown}
+}
+
+// Add registers a replica that can hold capacity concurrent requests.
+func (rs *ReplicaSet) Add(name string, capacity int) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.replicas = append(rs.replicas, &replica{
+		name:     name,
+		capacity: capacity,
+		breaker:  resilience.NewBreaker(rs.threshold, rs.cooldown, rs.clk),
+	})
+}
+
+// Do routes one request: it picks the next replica that is both below
+// capacity and admitted by its breaker, runs fn against it, and feeds
+// the outcome back into the breaker. When no replica can take the
+// request, Do sheds it with ErrOverloaded.
+func (rs *ReplicaSet) Do(fn func(replicaName string) error) error {
+	rs.mu.Lock()
+	if len(rs.replicas) == 0 {
+		rs.mu.Unlock()
+		return ErrNoReplicas
+	}
+	var chosen *replica
+	n := len(rs.replicas)
+	for i := 0; i < n; i++ {
+		r := rs.replicas[(rs.rr+i)%n]
+		// Capacity check first: a saturated replica must not consume the
+		// breaker's half-open probe slot.
+		if r.inflight >= r.capacity {
+			continue
+		}
+		if !r.breaker.Allow() {
+			continue
+		}
+		chosen = r
+		rs.rr = (rs.rr + i + 1) % n
+		break
+	}
+	if chosen == nil {
+		rs.shed++
+		rs.mu.Unlock()
+		rs.tel.Counter("serve.shed").Inc()
+		rs.tel.Emit("serve.shed")
+		return ErrOverloaded
+	}
+	chosen.inflight++
+	rs.mu.Unlock()
+
+	err := fn(chosen.name)
+
+	rs.mu.Lock()
+	chosen.inflight--
+	if err != nil {
+		chosen.breaker.Failure()
+		rs.tel.Counter("serve.replica_errors").Inc()
+	} else {
+		chosen.breaker.Success()
+	}
+	rs.tel.Counter("serve.replica_requests").Inc()
+	if state := chosen.breaker.State(); state != chosen.lastState {
+		chosen.lastState = state
+		rs.tel.Emit("serve.replica_state",
+			telemetry.String("replica", chosen.name),
+			telemetry.String("state", state.String()))
+		if state == resilience.Open {
+			rs.tel.Counter("serve.breaker_opens").Inc()
+		}
+	}
+	rs.mu.Unlock()
+	return err
+}
+
+// Healthy returns how many replicas are currently accepting traffic
+// (breaker not open).
+func (rs *ReplicaSet) Healthy() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	n := 0
+	for _, r := range rs.replicas {
+		if r.breaker.State() != resilience.Open {
+			n++
+		}
+	}
+	return n
+}
+
+// Shed returns how many requests were rejected with ErrOverloaded.
+func (rs *ReplicaSet) Shed() int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.shed
+}

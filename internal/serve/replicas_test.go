@@ -1,0 +1,150 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/telemetry"
+)
+
+func TestReplicaSetRoundRobin(t *testing.T) {
+	rs := NewReplicaSet(3, time.Minute, clock.NewManual(time.Unix(0, 0)), nil)
+	rs.Add("r0", 4)
+	rs.Add("r1", 4)
+	var got []string
+	for i := 0; i < 4; i++ {
+		if err := rs.Do(func(name string) error { got = append(got, name); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"r0", "r1", "r0", "r1"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("routing = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestReplicaSetEmptyAndOverload(t *testing.T) {
+	rs := NewReplicaSet(3, time.Minute, clock.NewManual(time.Unix(0, 0)), nil)
+	if err := rs.Do(func(string) error { return nil }); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("empty set = %v, want ErrNoReplicas", err)
+	}
+	rs.Add("r0", 1)
+	// Saturate the single slot from inside a request: the nested call
+	// must shed, not queue.
+	err := rs.Do(func(string) error {
+		if err := rs.Do(func(string) error { return nil }); !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("nested call = %v, want ErrOverloaded", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", rs.Shed())
+	}
+}
+
+// A replica that keeps failing is circuit-broken: traffic moves to the
+// healthy replica, and after the cooldown a probe decides whether the
+// broken one rejoins.
+func TestReplicaSetCircuitBreaksFailedReplica(t *testing.T) {
+	clk := clock.NewManual(time.Unix(0, 0))
+	tel := telemetry.New()
+	rs := NewReplicaSet(2, time.Minute, clk, tel)
+	rs.Add("bad", 4)
+	rs.Add("good", 4)
+
+	down := true
+	serveFrom := func(name string) error {
+		if name == "bad" && down {
+			return errors.New("connection refused")
+		}
+		return nil
+	}
+	// Two failures trip "bad"'s breaker (round-robin alternates, so four
+	// calls give it two).
+	for i := 0; i < 4; i++ {
+		_ = rs.Do(serveFrom)
+	}
+	if rs.Healthy() != 1 {
+		t.Fatalf("healthy = %d, want 1 (bad circuit-broken)", rs.Healthy())
+	}
+	// While open, every request lands on "good".
+	for i := 0; i < 6; i++ {
+		var hit string
+		if err := rs.Do(func(name string) error { hit = name; return serveFrom(name) }); err != nil {
+			t.Fatalf("request failed with a healthy replica available: %v", err)
+		}
+		if hit != "good" {
+			t.Fatal("request routed to a circuit-broken replica")
+		}
+	}
+	if tel.Counter("serve.breaker_opens").Value() != 1 {
+		t.Fatal("breaker open not counted")
+	}
+	// Replica recovers; after the cooldown one probe succeeds and the
+	// breaker closes again.
+	down = false
+	clk.Advance(2 * time.Minute)
+	for i := 0; i < 4; i++ {
+		if err := rs.Do(serveFrom); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs.Healthy() != 2 {
+		t.Fatalf("healthy = %d, want 2 after recovery", rs.Healthy())
+	}
+	served := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		_ = rs.Do(func(name string) error { served[name] = true; return nil })
+	}
+	if !served["bad"] || !served["good"] {
+		t.Fatalf("recovered replica not back in rotation: %v", served)
+	}
+}
+
+func TestTrySubmitShedsWhenQueueFull(t *testing.T) {
+	// One instance, maxBatch 1 => queue capacity 16. Block the executor
+	// so the queue can only fill.
+	release := make(chan struct{})
+	b := NewBatcher(1, time.Millisecond, 1, func(in [][]float64) ([][]float64, error) {
+		<-release
+		return in, nil
+	})
+	tel := telemetry.New()
+	b.SetTelemetry(tel)
+	defer func() {
+		close(release)
+		b.Close()
+	}()
+
+	// Fill the queue from goroutines; each Submit blocks until executed.
+	results := make(chan error, 64)
+	for i := 0; i < 17; i++ { // 16 queue slots + 1 held by the instance
+		go func() {
+			_, err := b.Submit([]float64{1})
+			results <- err
+		}()
+	}
+	// Wait until the queue is actually full.
+	deadline := time.After(5 * time.Second)
+	for len(b.queue) < cap(b.queue) {
+		select {
+		case <-deadline:
+			t.Fatal("queue never filled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if _, err := b.TrySubmit([]float64{2}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("TrySubmit on full queue = %v, want ErrOverloaded", err)
+	}
+	if tel.Counter("serve.shed").Value() != 1 {
+		t.Fatal("shed not counted")
+	}
+}
