@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos check bench repro csv examples clean
+.PHONY: build test vet lint race chaos trace check bench repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -13,8 +13,9 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Repo-native static analysis: wallclock, mapalias, lockedcallback and
-# unchecked (see README "Static analysis"). Exits non-zero on findings.
+# Repo-native static analysis: wallclock, mapalias, lockedcallback,
+# unchecked and spanleak (see README "Static analysis"). Exits non-zero
+# on findings.
 lint:
 	$(GO) run ./cmd/mlsyslint
 
@@ -31,11 +32,21 @@ chaos:
 	$(GO) test -race -count=1 -run 'Resilien|Fail|Errored|Reform|Replica|Evacuat|MTTR|TrySubmit|RetryPolicy|InjectedVolume' \
 		./internal/cloud/ ./internal/orchestrator/ ./internal/collective/ ./internal/serve/ ./internal/lease/ ./internal/jobs/ ./internal/blockstore/
 
+# Tracing suite: deterministic span IDs, critical-path extraction,
+# byte-identical Chrome exports across same-seed runs, per-trace cost
+# reconciliation, and the end-to-end propagation paths (lease, cloud,
+# jobs, serve, collective) — all under the race detector, since spans
+# are created from concurrent request paths.
+trace:
+	$(GO) test -race -count=1 ./internal/trace/
+	$(GO) test -race -count=1 -run 'Trace|Span|Critical|Chrome|SubscribeDuringEmit' \
+		./internal/report/ ./internal/telemetry/ ./internal/serve/ ./internal/jobs/
+
 # Default verification path: compile, static checks (go vet plus the
 # repo's own mlsyslint pass), unit tests, the race-enabled suite (the
-# concurrent batcher/telemetry tests need it), then the seeded chaos
-# suite.
-check: build vet lint test race chaos
+# concurrent batcher/telemetry tests need it), the seeded chaos suite,
+# then the tracing suite.
+check: build vet lint test race chaos trace
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -19,8 +19,21 @@
 //	usage                           show metered hours by flavor
 //	quota                           show project quota usage
 //	metrics                         show telemetry counters/gauges/histograms
-//	events [n]                      show the n most recent trace events (default 20)
+//	events [n] [-component c] [-since t]
+//	                                show the n most recent telemetry events
+//	                                (default 20), optionally filtered to a
+//	                                component prefix and a minimum sim time
+//	trace list                      list recorded traces (longest first)
+//	trace show <query>              print one trace's span tree
+//	trace critical [query]          critical path with per-span self-times
+//	                                (default: the longest trace)
+//	trace cost                      per-trace cost attribution vs the meter
+//	trace export <file>             write Chrome trace-event JSON (Perfetto)
 //	help / quit
+//
+// API commands run under a trace: launch, reserve, sched and batch each
+// record a span tree (placement/boot, queue wait, retries, batching)
+// inspectable with the trace subcommands afterwards.
 package main
 
 import (
@@ -35,6 +48,7 @@ import (
 
 	"repro/internal/blockstore"
 	"repro/internal/cloud"
+	"repro/internal/cost"
 	"repro/internal/lease"
 	"repro/internal/report"
 	"repro/internal/sched"
@@ -42,6 +56,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -55,8 +70,12 @@ func main() {
 	// nodes (64 cores each), not just small VMs.
 	cl.CreateProject("sandbox", cloud.CourseQuota())
 	bs := blockstore.New(clk, cl)
+	// Fixed seed: trace/span IDs are deterministic across sessions, so a
+	// scripted run exports byte-identical Chrome JSON every time.
+	tracer := trace.New(42, clk.Now)
 	ls := lease.New(clk, cl)
 	ls.SetTelemetry(bus)
+	ls.SetTracer(tracer)
 	ls.AddPool(cloud.GPUA100PCIe, 2) // registers the bare-metal hosts too
 	sched.SetTelemetry(bus)
 
@@ -78,7 +97,10 @@ func main() {
 			fmt.Println("volume <name> <GB> | attach <vol-id> <inst-id> |")
 			fmt.Println("reserve <start> <end> | sched <policy> <jobs> <gpus> | batch <n> |")
 			fmt.Println("hosts | fail <host> | recover <host> | resilience |")
-			fmt.Println("advance <hours> | usage | quota | metrics | events [n] | quit")
+			fmt.Println("advance <hours> | usage | quota | metrics | quit |")
+			fmt.Println("events [n] [-component c] [-since t] |")
+			fmt.Println("trace list | trace show <query> | trace critical [query] |")
+			fmt.Println("trace cost | trace export <file>")
 		case "launch":
 			if len(fields) != 3 {
 				fmt.Println("usage: launch <name> <flavor>")
@@ -89,11 +111,17 @@ func main() {
 				fmt.Println(err)
 				break
 			}
-			inst, err := cl.Launch(cloud.LaunchSpec{Project: "sandbox", Name: fields[1], Flavor: flavor})
+			root := tracer.StartTrace("api.launch "+fields[1],
+				telemetry.String("flavor", flavor.Name))
+			inst, err := cl.Launch(cloud.LaunchSpec{Project: "sandbox", Name: fields[1],
+				Flavor: flavor, Span: root})
 			if err != nil {
+				root.Annotate(telemetry.String("error", err.Error()))
+				root.Finish()
 				fmt.Println(err)
 				break
 			}
+			root.Finish()
 			fmt.Printf("%s ACTIVE on %s\n", inst.ID, inst.Host)
 		case "delete":
 			if len(fields) != 2 {
@@ -197,22 +225,22 @@ func main() {
 				fmt.Println("bad jobs/gpus:", fields[2], fields[3])
 				break
 			}
-			trace := sched.GenerateTrace(sched.DefaultTrace(njobs), stats.NewRNG(7))
+			wl := sched.GenerateTrace(sched.DefaultTrace(njobs), stats.NewRNG(7))
 			// The default trace draws gangs up to 16 GPUs; clamp to the
 			// cluster named on the command line so any size works.
-			for _, j := range trace {
+			for _, j := range wl {
 				if j.GPUs > gpus {
 					j.GPUs = gpus
 				}
 			}
 			if fields[1] == "preemptive" {
 				// Promote every fourth job so evictions actually happen.
-				for i, j := range trace {
+				for i, j := range wl {
 					if i%4 == 0 {
 						j.Weight = 5
 					}
 				}
-				res, err := sched.RunPreemptive(trace, gpus)
+				res, err := sched.RunPreemptive(wl, gpus)
 				if err != nil {
 					fmt.Println(err)
 					break
@@ -221,11 +249,16 @@ func main() {
 					len(res.Assignments), res.Makespan, res.TotalPreemptions, res.AvgWait)
 				break
 			}
-			res, err := sched.Run(fields[1], trace, gpus)
+			root := tracer.StartTrace("api.sched " + fields[1])
+			res, err := sched.RunTraced(fields[1], wl, gpus, root)
 			if err != nil {
+				root.Finish()
 				fmt.Println(err)
 				break
 			}
+			// The schedule runs on its own virtual axis anchored at the
+			// root's start; close the root at the makespan.
+			root.FinishAt(root.StartTime() + res.Makespan)
 			fmt.Printf("%d jobs, makespan %.1fh, avg wait %.2fh, utilization %.0f%%\n",
 				len(res.Assignments), res.Makespan, res.AvgWait, 100*res.Utilization)
 		case "batch":
@@ -242,16 +275,19 @@ func main() {
 				return in, nil
 			})
 			b.SetTelemetry(bus)
+			root := tracer.StartTrace("api.batch",
+				telemetry.Int("requests", n))
 			var wg sync.WaitGroup
 			for i := 0; i < n; i++ {
 				wg.Add(1)
 				go func(i int) {
 					defer wg.Done()
-					_, _ = b.Submit([]float64{float64(i)})
+					_, _ = b.SubmitTraced([]float64{float64(i)}, root)
 				}(i)
 			}
 			wg.Wait()
 			b.Close()
+			root.Finish()
 			batches, requests, mean := b.Stats()
 			fmt.Printf("%d requests in %d batches (mean batch %.1f)\n", requests, batches, mean)
 		case "hosts":
@@ -287,16 +323,110 @@ func main() {
 		case "metrics":
 			fmt.Print(report.Metrics(bus.Snapshot()))
 		case "events":
-			n := 20
-			if len(fields) == 2 {
-				v, err := strconv.Atoi(fields[1])
-				if err != nil || v < 1 {
-					fmt.Println("bad count:", fields[1])
+			n, component, since := 20, "", -1.0
+			bad := false
+			for i := 1; i < len(fields); i++ {
+				switch fields[i] {
+				case "-component":
+					if i+1 >= len(fields) {
+						fmt.Println("usage: -component <name>")
+						bad = true
+						break
+					}
+					i++
+					component = fields[i]
+				case "-since":
+					if i+1 >= len(fields) {
+						fmt.Println("usage: -since <sim-hours>")
+						bad = true
+						break
+					}
+					i++
+					v, err := strconv.ParseFloat(fields[i], 64)
+					if err != nil {
+						fmt.Println("bad time:", fields[i])
+						bad = true
+						break
+					}
+					since = v
+				default:
+					v, err := strconv.Atoi(fields[i])
+					if err != nil || v < 1 {
+						fmt.Println("bad count:", fields[i])
+						bad = true
+						break
+					}
+					n = v
+				}
+				if bad {
 					break
 				}
-				n = v
 			}
-			fmt.Print(report.Events(bus.Events(n)))
+			if bad {
+				break
+			}
+			// Filter over the full history, then keep the n most recent
+			// survivors — so a tight filter still shows n events.
+			evs := report.FilterEvents(bus.Events(0), component, since)
+			if len(evs) > n {
+				evs = evs[len(evs)-n:]
+			}
+			fmt.Print(report.Events(evs))
+		case "trace":
+			if len(fields) < 2 {
+				fmt.Println("usage: trace list | show <query> | critical [query] | cost | export <file>")
+				break
+			}
+			switch fields[1] {
+			case "list":
+				fmt.Print(report.TraceSummary(tracer, 0))
+			case "show":
+				if len(fields) != 3 {
+					fmt.Println("usage: trace show <name-or-id-prefix>")
+					break
+				}
+				td, ok := tracer.Find(fields[2])
+				if !ok {
+					fmt.Printf("no trace matches %q\n", fields[2])
+					break
+				}
+				fmt.Print(trace.Tree(td))
+			case "critical":
+				var td trace.TraceData
+				var ok bool
+				if len(fields) == 3 {
+					td, ok = tracer.Find(fields[2])
+				} else {
+					td, ok = tracer.Longest()
+				}
+				if !ok {
+					fmt.Println("no traces recorded yet")
+					break
+				}
+				fmt.Print(trace.RenderCriticalPath(td))
+			case "cost":
+				recs := cl.Meter().Records(func(*cloud.UsageRecord) bool { return true })
+				rows := report.CostByTrace(recs, clk.Now(), report.TraceRate(cost.AWS), tracer)
+				if len(rows) == 0 {
+					fmt.Println("no metered usage yet")
+					break
+				}
+				fmt.Print(report.TraceCostTable(rows))
+			case "export":
+				if len(fields) != 3 {
+					fmt.Println("usage: trace export <file.json>")
+					break
+				}
+				data := trace.Chrome(tracer.Traces())
+				if err := os.WriteFile(fields[2], data, 0o644); err != nil {
+					fmt.Println(err)
+					break
+				}
+				fmt.Printf("wrote %d bytes (%d traces) — open in Perfetto / chrome://tracing\n",
+					len(data), tracer.Len())
+			default:
+				fmt.Printf("unknown trace subcommand %q\n", fields[1])
+			}
 		case "quota":
 			p, err := cl.GetProject("sandbox")
 			if err != nil {

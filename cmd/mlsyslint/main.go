@@ -7,7 +7,7 @@
 //	mlsyslint [-root dir] [-json] [check ...]
 //
 // With no positional arguments every check runs (wallclock, mapalias,
-// lockedcallback, unchecked); naming checks runs that subset, e.g.
+// lockedcallback, unchecked, spanleak); naming checks runs that subset, e.g.
 // `mlsyslint unchecked`. -json emits machine-readable findings for CI
 // annotation. See internal/analysis for the check taxonomy and the
 // //lint:ignore suppression syntax.
@@ -132,6 +132,7 @@ func repoAnalyzers(module string) []*analysis.Analyzer {
 			"(*bytes.Buffer).WriteString", "(*bytes.Buffer).WriteByte",
 			"(*bytes.Buffer).WriteRune", "(*bytes.Buffer).Write",
 		),
+		analysis.Spanleak(),
 	}
 }
 

@@ -13,11 +13,16 @@
 //     orchestrator evacuates the dead node's pod, the collective
 //     reforms its ring around the dead rank, and the run ends with a
 //     resilience scorecard.
+//  6. Trace the whole failure story: the training step records a span
+//     tree (job → collective → per-rank phases, including the ring
+//     reformation), the orchestrator records the evacuation, and the
+//     run prints the critical path plus a Chrome trace-event export.
 //
 // Run with: go run ./examples/distributed-training
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
 	"math"
@@ -31,6 +36,7 @@ import (
 	"repro/internal/simclock"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/tracking"
 	"repro/internal/train"
 )
@@ -175,9 +181,13 @@ func main() {
 	cl.SetTelemetry(bus)
 	cl.AddVMCapacity(3, 8, 16)
 	cl.CreateProject("mlops", cloud.CourseQuota())
+	// Seeded tracer: every run of this example produces byte-identical
+	// span trees and Chrome exports.
+	tracer := trace.New(7, clk.Now)
 	orch := orchestrator.NewCluster()
 	orch.SetClock(clk)
 	orch.SetTelemetry(bus)
+	orch.SetTracer(tracer)
 	var workers []*cloud.Instance
 	for i := 0; i < 3; i++ {
 		inst, err := cl.Launch(cloud.LaunchSpec{Project: "mlops",
@@ -219,8 +229,17 @@ func main() {
 				step[w][i] = float64(w + 1)
 			}
 		}
-		rep, err := collective.RingAllReduceResilient(step, eng.RankDead)
+		job := tracer.StartTrace("train.step",
+			telemetry.Int("ranks", len(step)),
+			telemetry.String("job", "trainer"))
+		rep, err := collective.RingAllReduceTraced(step, eng.RankDead, collective.TraceSpec{
+			Parent: job, Model: &cm, Bytes: bytes, DetectTimeout: 30})
 		check(err)
+		// Close the step where its slowest child ends (the collective
+		// places phases on the virtual axis from the cost model).
+		if td, ok := tracer.TraceByID(job.TraceID()); ok {
+			job.FinishAt(td.End())
+		}
 		fmt.Printf("  t=%.1fh: rank(s) %v dead mid-step; ring reformed over %d survivors\n",
 			clk.Now(), rep.Dead, rep.Survivors)
 		fmt.Printf("  predicted 8-worker 26 GB all-reduce: healthy %.2fs, one dead rank + 30s detect %.2fs\n",
@@ -234,6 +253,24 @@ func main() {
 	fmt.Printf("  dead worker metered %.1fh (billing stopped at the crash), survivors %.1fh each\n",
 		mustGet(cl, victimNode).HoursAt(clk.Now()), 6.0)
 	fmt.Print(report.ResilienceSummary(bus))
+
+	// --- 6. Tracing the failure story ------------------------------------
+	fmt.Println("\n== Tracing: the training step and the evacuation as spans ==")
+	td, ok := tracer.Find("train.step")
+	if !ok {
+		log.Fatal("the traced training step never ran")
+	}
+	fmt.Print(trace.Tree(td))
+	fmt.Println()
+	fmt.Print(trace.RenderCriticalPath(td))
+	if ev, ok := tracer.Find("evacuate"); ok {
+		fmt.Println()
+		fmt.Print(trace.Tree(ev))
+	}
+	export := trace.Chrome(tracer.Traces())
+	fmt.Printf("\n  chrome export: %d traces, %d bytes, valid JSON = %v\n",
+		tracer.Len(), len(export), json.Valid(export))
+	fmt.Println("  (pipe to a file and open in https://ui.perfetto.dev to see the timeline)")
 }
 
 // mustGet returns the named instance; the example's instances exist by

@@ -17,6 +17,8 @@
 //   - lockedcallback: invoking a stored callback or sending on a
 //     channel while a sync.Mutex/RWMutex is held.
 //   - unchecked: dropped error returns outside an explicit allowlist.
+//   - spanleak: trace spans started but never finished (and never
+//     handed to an owner) on any path out of the function.
 //
 // Findings are suppressed per line with
 //

@@ -100,6 +100,10 @@ func TestLockedcallbackGolden(t *testing.T) {
 	runGolden(t, Lockedcallback(), "lockedcallback", false)
 }
 
+func TestSpanleakGolden(t *testing.T) {
+	runGolden(t, Spanleak(), "spanleak", false)
+}
+
 func TestUncheckedGolden(t *testing.T) {
 	runGolden(t, Unchecked("fmt.Println", "unchecked.allowlisted"), "unchecked", false)
 }

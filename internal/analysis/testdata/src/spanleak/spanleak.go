@@ -1,0 +1,99 @@
+// Package spanleak is a golden-test fixture for the spanleak check.
+// It defines its own Span/Tracer shapes (the loader resolves stdlib
+// imports only); the check matches any Start* call returning *Span.
+package spanleak
+
+// Span mirrors repro/internal/trace.Span: produced by Start* calls,
+// closed by Finish/FinishAt/End.
+type Span struct{ open bool }
+
+func (s *Span) StartChild(name string) *Span { return &Span{open: true} }
+func (s *Span) Annotate(kv ...string)        {}
+func (s *Span) Finish()                      { s.open = false }
+func (s *Span) FinishAt(t float64)           { s.open = false }
+func (s *Span) End()                         { s.open = false }
+
+// Tracer mirrors the trace.Tracer entry points.
+type Tracer struct{}
+
+func (t *Tracer) StartTrace(name string) *Span { return &Span{open: true} }
+
+type holder struct{ span *Span }
+
+var sink []*Span
+
+func register(s *Span) { sink = append(sink, s) }
+
+// DroppedBad starts a span and throws the handle away.
+func DroppedBad(t *Tracer) {
+	t.StartTrace("job") // want `span from t\.StartTrace is discarded`
+}
+
+// BlankBad binds the span to the blank identifier.
+func BlankBad(t *Tracer) {
+	_ = t.StartTrace("job") // want `discarded and can never be finished`
+}
+
+// LeakBad annotates a span but never finishes it.
+func LeakBad(t *Tracer) {
+	s := t.StartTrace("job") // want `span "s" from t\.StartTrace is never finished`
+	s.Annotate("k", "v")
+}
+
+// ChildLeakBad finishes the root but leaks the child.
+func ChildLeakBad(t *Tracer) {
+	root := t.StartTrace("job")
+	defer root.Finish()
+	c := root.StartChild("step") // want `span "c" from root\.StartChild is never finished`
+	c.Annotate("k", "v")
+}
+
+// DeferOK is the sanctioned multi-exit pattern.
+func DeferOK(t *Tracer, fail bool) {
+	s := t.StartTrace("job")
+	defer s.Finish()
+	if fail {
+		return
+	}
+	s.Annotate("k", "v")
+}
+
+// FinishAtOK closes with an explicit virtual end time.
+func FinishAtOK(t *Tracer) {
+	s := t.StartTrace("job")
+	s.FinishAt(2.5)
+}
+
+// ClosureOK finishes the span from a nested literal (a defer'd cleanup
+// closure in the real repo).
+func ClosureOK(t *Tracer) {
+	s := t.StartTrace("job")
+	done := func() { s.Finish() }
+	done()
+}
+
+// ReturnOK transfers ownership to the caller.
+func ReturnOK(t *Tracer) *Span {
+	s := t.StartTrace("job")
+	s.Annotate("k", "v")
+	return s
+}
+
+// StoreOK hands the span to a long-lived owner (cloud's per-instance
+// span map is the real-repo analogue).
+func StoreOK(t *Tracer, h *holder) {
+	h.span = t.StartTrace("job")
+}
+
+// PassOK escapes via a call argument.
+func PassOK(t *Tracer) {
+	s := t.StartTrace("job")
+	register(s)
+}
+
+// FireAndForgetOK is a deliberate open span, documented and suppressed.
+func FireAndForgetOK(t *Tracer) {
+	//lint:ignore spanleak fixture: background span is closed by the harness at shutdown
+	s := t.StartTrace("background")
+	s.Annotate("k", "v")
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Common API errors.
@@ -49,6 +50,7 @@ type Cloud struct {
 
 	fipRecords map[string]*UsageRecord // fip ID -> open meter record
 	instRecs   map[string]*UsageRecord // instance ID -> open meter record
+	instSpans  map[string]*trace.Span  // instance ID -> lifetime span (traced launches only)
 
 	tel *telemetry.Bus // nil disables instrumentation
 
@@ -73,6 +75,7 @@ func New(name string, clock *simclock.Clock) *Cloud {
 		meter:      &Meter{},
 		fipRecords: map[string]*UsageRecord{},
 		instRecs:   map[string]*UsageRecord{},
+		instSpans:  map[string]*trace.Span{},
 	}
 }
 
@@ -163,6 +166,12 @@ type LaunchSpec struct {
 	// Network to attach; empty uses no fixed network (bare metal nodes
 	// on Chameleon sit on a shared provider network).
 	NetworkID string
+	// Span, when non-nil, makes the launch traced: the API call becomes a
+	// "cloud.launch" child span, the instance's lifetime becomes a
+	// "cloud.instance" span finished at delete/failure, and the meter
+	// record is tagged with the trace ID so per-trace cost attribution
+	// can decompose the bill.
+	Span *trace.Span
 }
 
 // Launch provisions an instance: quota check, placement, metering. The
@@ -171,9 +180,15 @@ type LaunchSpec struct {
 func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	span := spec.Span.StartChild("cloud.launch",
+		telemetry.String("project", spec.Project),
+		telemetry.String("flavor", spec.Flavor.Name))
+	defer span.Finish()
 	p, ok := c.projects[spec.Project]
 	if !ok {
-		return nil, fmt.Errorf("%w: project %q", ErrNotFound, spec.Project)
+		err := fmt.Errorf("%w: project %q", ErrNotFound, spec.Project)
+		span.Annotate(telemetry.String("error", err.Error()))
+		return nil, err
 	}
 	if err := p.Quota.CanLaunch(p.Usage, spec.Flavor); err != nil {
 		c.tel.Counter("cloud.quota_rejections").Inc()
@@ -181,6 +196,7 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 			telemetry.String("project", spec.Project),
 			telemetry.String("flavor", spec.Flavor.Name),
 			telemetry.String("reason", err.Error()))
+		span.Annotate(telemetry.String("error", err.Error()))
 		return nil, err
 	}
 	host := c.placer.Place(c.hosts, spec.Flavor)
@@ -189,7 +205,9 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 		c.tel.Emit("cloud.capacity.reject",
 			telemetry.String("project", spec.Project),
 			telemetry.String("flavor", spec.Flavor.Name))
-		return nil, fmt.Errorf("%w (flavor %s)", ErrNoCapacity, spec.Flavor.Name)
+		err := fmt.Errorf("%w (flavor %s)", ErrNoCapacity, spec.Flavor.Name)
+		span.Annotate(telemetry.String("error", err.Error()))
+		return nil, err
 	}
 	inst := &Instance{
 		ID:         c.id("inst"),
@@ -214,7 +232,28 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 	p.Usage.Cores += spec.Flavor.VCPUs
 	p.Usage.RAMGB += spec.Flavor.RAMGB
 	c.instances[inst.ID] = inst
+	// API-call phases: placement, boot, and metering-start. In the sim
+	// these are instantaneous (boot latency is the caller's model), so the
+	// spans record causality, not latency.
+	place := span.StartChild("cloud.place", telemetry.String("host", host.Name))
+	place.Finish()
+	boot := span.StartChild("cloud.boot", telemetry.String("id", inst.ID))
+	boot.Finish()
+	// Tag the usage record with the trace ID before opening it: the meter
+	// copies tags defensively, so report.CostByTrace sees the stamp.
+	if tid := spec.Span.TraceID(); tid != 0 {
+		inst.Tags[trace.Tag] = tid.String()
+	}
+	mspan := span.StartChild("cloud.meter")
 	c.instRecs[inst.ID] = c.meter.Open(UsageInstance, spec.Project, spec.Flavor.Name, inst.Tags, 1, c.clock.Now())
+	mspan.Finish()
+	// The instance's lifetime span outlives the API call; it is finished
+	// by deleteLocked or failInstanceLocked.
+	if spec.Span != nil {
+		c.instSpans[inst.ID] = spec.Span.StartChild("cloud.instance "+inst.ID,
+			telemetry.String("flavor", spec.Flavor.Name),
+			telemetry.String("host", host.Name))
+	}
 	c.tel.Counter("cloud.launches").Inc()
 	c.tel.Counter("cloud.meter.opened").Inc()
 	c.tel.Gauge("cloud.instances_active").Add(1)
@@ -280,6 +319,11 @@ func (c *Cloud) deleteLocked(instanceID string) error {
 	inst.DeletedAt = c.clock.Now()
 	c.meter.Close(c.instRecs[inst.ID], c.clock.Now())
 	delete(c.instRecs, inst.ID)
+	if sp := c.instSpans[inst.ID]; sp != nil {
+		sp.Annotate(telemetry.Float("hours", inst.DeletedAt-inst.LaunchedAt))
+		sp.FinishAt(c.clock.Now())
+		delete(c.instSpans, inst.ID)
+	}
 	c.tel.Counter("cloud.deletes").Inc()
 	c.tel.Counter("cloud.meter.closed").Inc()
 	c.tel.Gauge("cloud.instances_active").Add(-1)

@@ -123,6 +123,13 @@ func (c *Cloud) failInstanceLocked(inst *Instance, reason string) {
 	inst.FailReason = reason
 	c.meter.Close(c.instRecs[inst.ID], now)
 	delete(c.instRecs, inst.ID)
+	if sp := c.instSpans[inst.ID]; sp != nil {
+		sp.Annotate(
+			telemetry.String("error", reason),
+			telemetry.Float("hours", inst.FailedAt-inst.LaunchedAt))
+		sp.FinishAt(now)
+		delete(c.instSpans, inst.ID)
+	}
 	c.tel.Counter("cloud.instance_failures").Inc()
 	c.tel.Counter("cloud.meter.closed").Inc()
 	c.tel.Gauge("cloud.instances_active").Add(-1)

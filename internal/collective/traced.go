@@ -1,0 +1,85 @@
+package collective
+
+import (
+	"fmt"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// TraceSpec configures a traced fault-tolerant all-reduce.
+type TraceSpec struct {
+	// Parent is the span the collective hangs under (typically the
+	// training step's span). Nil disables tracing entirely.
+	Parent *trace.Span
+	// Model supplies the alpha-beta timing used for the virtual phase
+	// durations; nil leaves all phase spans zero-length (causality only).
+	Model *CostModel
+	// Bytes is the payload size the cost model prices (the real vectors
+	// carry test-sized payloads; the model prices the modeled ones).
+	Bytes float64
+	// DetectTimeout is the seconds survivors burn detecting dead ranks,
+	// charged to the reformation span (CostModel.RingWithReformation's
+	// detectTimeout).
+	DetectTimeout float64
+}
+
+// RingAllReduceTraced runs RingAllReduceResilient and records the step
+// as a span tree under spec.Parent: a "collective.allreduce" span with a
+// "collective.reform" child when the ring reformed, and per-rank spans
+// whose "reduce_scatter" / "all_gather" phase children carry the cost
+// model's virtual durations (the sim's analogue of CUDA event timings).
+// The span tree is built after the collective completes, from its
+// deterministic report — never from inside the worker goroutines — so
+// span IDs and timestamps stay byte-reproducible regardless of goroutine
+// interleaving.
+func RingAllReduceTraced(vectors [][]float64, dead FailedRanks, spec TraceSpec) (ReformReport, error) {
+	root := spec.Parent.StartChild("collective.allreduce",
+		telemetry.String("algo", "ring"),
+		telemetry.Int("ranks", len(vectors)))
+
+	rep, err := RingAllReduceResilient(vectors, dead)
+
+	const secPerHour = 3600.0
+	cursor := root.StartTime()
+	if rep.Reformed {
+		detectH := spec.DetectTimeout / secPerHour
+		reform := root.StartChildAt("collective.reform", cursor,
+			telemetry.Int("dead", len(rep.Dead)),
+			telemetry.Int("survivors", rep.Survivors),
+			telemetry.String("ranks_lost", fmt.Sprint(rep.Dead)))
+		reform.FinishAt(cursor + detectH)
+		cursor += detectH
+	}
+	if err != nil {
+		root.Annotate(telemetry.String("error", err.Error()))
+		root.FinishAt(cursor)
+		return rep, err
+	}
+
+	// Phase durations from the alpha-beta model: a ring all-reduce is a
+	// reduce-scatter followed by an all-gather of equal cost.
+	phaseH := 0.0
+	if spec.Model != nil {
+		phaseH = spec.Model.Ring(rep.Survivors, spec.Bytes) / 2 / secPerHour
+	}
+	deadSet := map[int]bool{}
+	for _, r := range rep.Dead {
+		deadSet[r] = true
+	}
+	for rank := 0; rank < len(vectors); rank++ {
+		rs := root.StartChildAt(fmt.Sprintf("rank %d", rank), cursor)
+		if deadSet[rank] {
+			rs.Annotate(telemetry.String("dead", "true"))
+			rs.FinishAt(cursor)
+			continue
+		}
+		p1 := rs.StartChildAt("reduce_scatter", cursor)
+		p1.FinishAt(cursor + phaseH)
+		p2 := rs.StartChildAt("all_gather", cursor+phaseH)
+		p2.FinishAt(cursor + 2*phaseH)
+		rs.FinishAt(cursor + 2*phaseH)
+	}
+	root.FinishAt(cursor + 2*phaseH)
+	return rep, err
+}

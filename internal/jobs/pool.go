@@ -15,6 +15,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ErrPoolClosed is returned for submissions after Close.
@@ -81,6 +82,7 @@ func (p *Pool) SetRetryPolicy(b *resilience.Backoff, s resilience.Sleeper) {
 type submission struct {
 	task Task
 	out  chan Result
+	span *trace.Span // nil for untraced submissions
 }
 
 // NewPool starts a pool with the given number of workers and per-task
@@ -133,6 +135,10 @@ func (p *Pool) worker() {
 		p.mu.Lock()
 		backoff, sleep := p.backoff, p.sleep
 		p.mu.Unlock()
+		// Queue wait: from submission (the task span's start) to now, in
+		// the tracer's virtual time.
+		qw := sub.span.StartChildAt("jobs.queue_wait", sub.span.StartTime())
+		qw.Finish()
 		res := Result{}
 		countFailure := func(attempts int, err error, delay time.Duration) {
 			p.mu.Lock()
@@ -151,6 +157,7 @@ func (p *Pool) worker() {
 			OnRetry: func(attempt int, err error, delay time.Duration) {
 				countFailure(attempt+1, err, delay)
 			},
+			Span: sub.span,
 		}
 		out, err := r.Do(func(int) error {
 			v, taskErr := runProtected(sub.task)
@@ -175,6 +182,11 @@ func (p *Pool) worker() {
 		p.executed++
 		p.mu.Unlock()
 		tel.Counter("jobs.executed").Inc()
+		sub.span.Annotate(telemetry.Int("attempts", res.Attempts))
+		if res.Err != nil {
+			sub.span.Annotate(telemetry.String("error", res.Err.Error()))
+		}
+		sub.span.Finish()
 		sub.out <- res
 		idleSince = p.clk.Now()
 	}
@@ -193,14 +205,28 @@ func runProtected(t Task) (v float64, err error) {
 
 // Submit enqueues a task and returns its future.
 func (p *Pool) Submit(t Task) (*Future, error) {
+	return p.submit(t, nil)
+}
+
+// SubmitTraced enqueues a task whose execution is recorded as a
+// "jobs.task" child span of parent: queue wait, each retry attempt, and
+// the terminal outcome all become part of the trace. A nil parent
+// behaves exactly like Submit.
+func (p *Pool) SubmitTraced(t Task, parent *trace.Span) (*Future, error) {
+	return p.submit(t, parent.StartChild("jobs.task"))
+}
+
+func (p *Pool) submit(t Task, span *trace.Span) (*Future, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		span.Annotate(telemetry.String("error", ErrPoolClosed.Error()))
+		span.Finish()
 		return nil, ErrPoolClosed
 	}
 	p.mu.Unlock()
 	f := &Future{ch: make(chan Result, 1)}
-	p.queue <- submission{task: t, out: f.ch}
+	p.queue <- submission{task: t, out: f.ch, span: span}
 	return f, nil
 }
 

@@ -1,0 +1,74 @@
+package jobs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestSubmitTracedSpans pins the shape of a traced task: a jobs.task
+// child under the caller's span, a queue-wait span, and one attempt
+// span per Retrier attempt with errors annotated on the failed ones.
+func TestSubmitTracedSpans(t *testing.T) {
+	tracer := trace.New(1, func() float64 { return 0 })
+	root := tracer.StartTrace("api")
+	p := NewPool(1, 2)
+	calls := 0
+	fut, err := p.SubmitTraced(func() (float64, error) {
+		calls++
+		if calls < 2 {
+			return 0, errors.New("flaky")
+		}
+		return 42, nil
+	}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := fut.Get()
+	p.Close()
+	root.Finish()
+	if res.Err != nil || res.Value != 42 || res.Attempts != 2 {
+		t.Fatalf("result = %+v, want value 42 after 2 attempts", res)
+	}
+
+	td, ok := tracer.TraceByID(root.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	byName := map[string]trace.SpanData{}
+	for _, s := range td.Spans {
+		byName[s.Name] = s
+		if !s.Finished() {
+			t.Errorf("span %s left open", s.Name)
+		}
+	}
+	for _, want := range []string{"api", "jobs.task", "jobs.queue_wait", "attempt 1", "attempt 2"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("missing span %q:\n%s", want, trace.Tree(td))
+		}
+	}
+	if got := byName["attempt 1"].Attr("error"); got != "flaky" {
+		t.Errorf("failed attempt error attr = %q, want flaky", got)
+	}
+	if got := byName["attempt 2"].Attr("error"); got != "" {
+		t.Errorf("successful attempt carries error attr %q", got)
+	}
+	if got := byName["jobs.task"].Attr("attempts"); got != "2" {
+		t.Errorf("task attempts attr = %q, want 2", got)
+	}
+	if byName["jobs.task"].Parent != byName["api"].ID {
+		t.Error("jobs.task is not a child of the caller's span")
+	}
+
+	// A nil parent degrades to the untraced path.
+	p2 := NewPool(1, 0)
+	fut2, err := p2.SubmitTraced(func() (float64, error) { return 1, nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := fut2.Get(); res.Err != nil || res.Value != 1 {
+		t.Fatalf("nil-parent submit = %+v, want value 1", res)
+	}
+	p2.Close()
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Errors returned by the service.
@@ -48,6 +49,14 @@ type Reservation struct {
 	// attached.
 	InstanceID string
 	Cancelled  bool
+
+	// Tracing handles (nil when the service has no tracer): the root span
+	// covers the whole reservation, waitSpan the booking→activation wait,
+	// activeSpan the activation→termination window. All are read and
+	// written under the service mutex.
+	span       *trace.Span
+	waitSpan   *trace.Span
+	activeSpan *trace.Span
 }
 
 // Hours returns the booked duration.
@@ -75,6 +84,7 @@ type Service struct {
 	clock  *simclock.Clock
 	cloud  *cloud.Cloud   // optional: enables auto launch/terminate
 	tel    *telemetry.Bus // nil disables instrumentation
+	tracer *trace.Tracer  // nil disables tracing
 	pools  map[string]*pool
 	all    map[string]*Reservation
 	nextID int
@@ -94,6 +104,16 @@ func (s *Service) SetTelemetry(b *telemetry.Bus) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tel = b
+}
+
+// SetTracer attaches a tracer: every booking becomes a trace
+// ("lease <id>") spanning reservation → activation → auto-termination,
+// with the cloud launch call and instance lifetime as child spans. Call
+// before concurrent use.
+func (s *Service) SetTracer(t *trace.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
 }
 
 // AddPool registers n reservable nodes of the given type. When a cloud is
@@ -207,6 +227,14 @@ func (s *Service) tryBookLocked(spec Spec) (*Reservation, error) {
 	}
 	p.byNode[node] = insertSorted(p.byNode[node], r)
 	s.all[r.ID] = r
+	// The trace starts at booking: the paper's cost question ("why did
+	// this slot cost what it cost") begins when the student books, not
+	// when the node activates.
+	r.span = s.tracer.StartTrace("lease "+r.ID,
+		telemetry.String("user", r.User),
+		telemetry.String("node_type", r.NodeType),
+		telemetry.String("node", r.Node))
+	r.waitSpan = r.span.StartChild("lease.wait")
 	s.scheduleLifecycleLocked(r)
 	return r, nil
 }
@@ -221,6 +249,7 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 	start = func(retries int) {
 		s.mu.Lock()
 		cancelled := r.Cancelled
+		span, waitSpan := r.span, r.waitSpan
 		s.mu.Unlock()
 		if cancelled {
 			return
@@ -230,6 +259,7 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 			Name:    fmt.Sprintf("%s-%s", r.User, r.NodeType),
 			Flavor:  mustFlavor(r.NodeType),
 			Tags:    r.Tags,
+			Span:    span,
 		})
 		if errors.Is(err, cloud.ErrNoCapacity) && retries > 0 {
 			// Back-to-back reservations share a boundary instant: the
@@ -252,10 +282,21 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 				telemetry.String("node", r.Node),
 				telemetry.String("reason", err.Error()),
 				telemetry.Float("t", s.clock.Now()))
+			now := s.clock.Now()
+			waitSpan.Annotate(telemetry.String("error", err.Error()))
+			waitSpan.FinishAt(now)
+			span.Annotate(telemetry.String("error", err.Error()))
+			span.FinishAt(now)
 			return
 		}
+		now := s.clock.Now()
+		waitSpan.Annotate(telemetry.String("instance", inst.ID))
+		waitSpan.FinishAt(now)
+		active := span.StartChildAt("lease.active", now,
+			telemetry.String("instance", inst.ID))
 		s.mu.Lock()
 		r.InstanceID = inst.ID
+		r.activeSpan = active
 		s.mu.Unlock()
 		s.tel.Counter("lease.activations").Inc()
 		s.tel.Emit("lease.activate",
@@ -269,6 +310,7 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 		s.clock.At(r.End, "lease.expire "+r.ID, func() {
 			s.mu.Lock()
 			cancelled := r.Cancelled
+			root, active := r.span, r.activeSpan
 			s.mu.Unlock()
 			if cancelled {
 				return
@@ -279,6 +321,8 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 				telemetry.String("node", r.Node),
 				telemetry.String("instance", inst.ID),
 				telemetry.Float("t", s.clock.Now()))
+			active.FinishAt(s.clock.Now())
+			root.FinishAt(s.clock.Now())
 		})
 	}
 	s.clock.At(r.Start, "lease.start "+r.ID, func() { start(8) })
@@ -312,10 +356,18 @@ func (s *Service) Cancel(id string) error {
 	}
 	delete(s.all, id)
 	instID := r.InstanceID
+	root, wait, active := r.span, r.waitSpan, r.activeSpan
 	s.mu.Unlock()
 	if instID != "" && s.cloud != nil {
 		_ = s.cloud.Delete(instID)
 	}
+	// Finish whatever phase the reservation was in; Finish is idempotent,
+	// so cancelling an already-expired lease changes nothing.
+	now := s.clock.Now()
+	wait.FinishAt(now)
+	active.FinishAt(now)
+	root.Annotate(telemetry.String("outcome", "cancelled"))
+	root.FinishAt(now)
 	s.tel.Counter("lease.cancellations").Inc()
 	s.tel.Emit("lease.cancel",
 		telemetry.String("id", id),

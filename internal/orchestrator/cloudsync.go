@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // SyncFromCloud reconciles node readiness with the cloud's view of the
@@ -56,6 +57,17 @@ func (c *Cluster) SyncFromCloud(cl *cloud.Cloud) int {
 				telemetry.String("reason", inst.FailReason),
 				telemetry.Float("failed_at", failedAt),
 				telemetry.Float("t", c.nowLocked()))
+			// Evacuation trace, backdated to the crash: the detection span
+			// covers the window the failure went unnoticed (the kubelet
+			// heartbeat interval the control loop models).
+			ev := c.tracer.StartTraceAt("evacuate "+name, failedAt,
+				telemetry.String("node", name),
+				telemetry.String("reason", inst.FailReason))
+			det := ev.StartChildAt("orchestrator.detect", failedAt)
+			det.FinishAt(c.nowLocked())
+			if c.tracer != nil {
+				c.evacSpans[name] = ev
+			}
 		case !n.Ready && inst.Running():
 			n.Ready = true
 			delete(c.downSince, name)
@@ -65,7 +77,38 @@ func (c *Cluster) SyncFromCloud(cl *cloud.Cloud) int {
 		}
 	}
 	c.mu.Unlock()
-	return c.ReconcileToFixedPoint()
+	actions := c.ReconcileToFixedPoint()
+	c.closeEvacuations(actions)
+	return actions
+}
+
+// closeEvacuations finishes every open evacuation trace now that
+// reconciliation has rescheduled the evicted pods, recording the
+// reschedule window and the number of reconcile actions it took.
+func (c *Cluster) closeEvacuations(actions int) {
+	c.mu.Lock()
+	if len(c.evacSpans) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	names := make([]string, 0, len(c.evacSpans))
+	for n := range c.evacSpans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	spans := make([]*trace.Span, len(names))
+	for i, n := range names {
+		spans[i] = c.evacSpans[n]
+		delete(c.evacSpans, n)
+	}
+	now := c.nowLocked()
+	c.mu.Unlock()
+	for _, ev := range spans {
+		resched := ev.StartChild("orchestrator.reschedule",
+			telemetry.Int("reconcile_actions", actions))
+		resched.FinishAt(now)
+		ev.FinishAt(now)
+	}
 }
 
 func better(a, b *cloud.Instance) bool {

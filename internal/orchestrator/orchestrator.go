@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Errors returned by the cluster API.
@@ -115,8 +116,14 @@ type Cluster struct {
 	// events records reconciliation actions for observability and tests.
 	events []string
 
-	tel *telemetry.Bus  // nil disables instrumentation
-	clk *simclock.Clock // nil means "time stands at 0" (MTTR reads 0)
+	tel    *telemetry.Bus  // nil disables instrumentation
+	clk    *simclock.Clock // nil means "time stands at 0" (MTTR reads 0)
+	tracer *trace.Tracer   // nil disables evacuation tracing
+
+	// evacSpans holds, per down node, the open evacuation trace started
+	// when SyncFromCloud detected the failure; finished once the following
+	// reconcile pass has rescheduled the evicted pods.
+	evacSpans map[string]*trace.Span
 
 	// downSince records when each non-ready node went down, so the
 	// recovery time of its evicted pods can be measured from the failure
@@ -141,6 +148,7 @@ func NewCluster() *Cluster {
 		services:    map[string]*Service{},
 		downSince:   map[string]float64{},
 		repairs:     map[string][]float64{},
+		evacSpans:   map[string]*trace.Span{},
 	}
 }
 
@@ -151,6 +159,16 @@ func (c *Cluster) SetTelemetry(b *telemetry.Bus) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tel = b
+}
+
+// SetTracer attaches a tracer: every node failure SyncFromCloud detects
+// becomes an "evacuate <node>" trace, backdated to the crash instant,
+// with detection lag and rescheduling as child spans. Call before
+// concurrent use.
+func (c *Cluster) SetTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
 }
 
 // SetClock attaches the simulation clock used to timestamp failures and

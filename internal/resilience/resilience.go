@@ -14,9 +14,12 @@ package resilience
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ErrBudgetExhausted wraps the last error once the retry budget is spent.
@@ -99,6 +102,10 @@ type Retrier struct {
 	Sleep Sleeper
 	// OnRetry, if set, observes every failed attempt before the retry.
 	OnRetry func(attempt int, err error, delay time.Duration)
+	// Span, if set, records each attempt as a child span ("attempt N"),
+	// with failed attempts annotated with their error. Nil disables
+	// tracing (the zero-value Retrier stays allocation-free).
+	Span *trace.Span
 }
 
 // Do runs fn until it succeeds or the budget is exhausted. The returned
@@ -113,7 +120,12 @@ func (r Retrier) Do(fn func(attempt int) error) (Outcome, error) {
 	var last error
 	for attempt := 0; attempt < budget; attempt++ {
 		out.Attempts++
+		att := r.Span.StartChild(fmt.Sprintf("attempt %d", attempt+1))
 		last = fn(attempt)
+		if last != nil {
+			att.Annotate(telemetry.String("error", last.Error()))
+		}
+		att.Finish()
 		if last == nil {
 			return out, nil
 		}

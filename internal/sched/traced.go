@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// RunTraced is Run with the schedule recorded as a span tree under
+// parent: a "sched <policy>" span containing one "sched.job <ID>" span
+// per job, each with "sched.wait" (submit → start) and "sched.exec"
+// (start → end) children placed at the schedule's virtual times. The
+// tree is built from the completed Result — the scheduler itself is
+// untouched — so a traced run produces byte-identical schedules to an
+// untraced one. A nil parent behaves exactly like Run.
+func RunTraced(policy string, jobs []*Job, capacity int, parent *trace.Span) (Result, error) {
+	res, err := Run(policy, jobs, capacity)
+	if err != nil {
+		sp := parent.StartChild("sched "+policy,
+			telemetry.String("error", err.Error()))
+		sp.Finish()
+		return res, err
+	}
+	base := parent.StartTime()
+	root := parent.StartChildAt("sched "+policy, base,
+		telemetry.Int("jobs", len(res.Assignments)),
+		telemetry.Int("capacity", capacity))
+	for _, a := range res.Assignments {
+		// Schedule times are offsets on the policy's own virtual axis;
+		// anchor them at the parent span's start so they sit inside the
+		// enclosing trace.
+		js := root.StartChildAt("sched.job "+a.Job.ID, base+a.Job.Submit,
+			telemetry.String("user", a.Job.User),
+			telemetry.Int("gpus", a.Job.GPUs))
+		wait := js.StartChildAt("sched.wait", base+a.Job.Submit)
+		wait.FinishAt(base + a.Start)
+		exec := js.StartChildAt("sched.exec", base+a.Start)
+		exec.FinishAt(base + a.End)
+		js.FinishAt(base + a.End)
+	}
+	root.FinishAt(base + res.Makespan)
+	return res, nil
+}

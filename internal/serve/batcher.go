@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ErrBatcherClosed is returned for submissions after Close and for
@@ -18,6 +19,7 @@ type Request struct {
 	Input    []float64
 	enqueued time.Time
 	result   chan Response
+	span     *trace.Span // nil for untraced submissions
 }
 
 // Response carries the inference output back to the submitter.
@@ -149,9 +151,27 @@ func (b *Batcher) run(batch []*Request) {
 	for i, r := range batch {
 		inputs[i] = r.Input
 	}
+	// Per-request spans: the wait from submission until the batch formed,
+	// then the shared execution (one child per request so every trace is
+	// self-contained).
+	for _, r := range batch {
+		qw := r.span.StartChildAt("serve.queue_wait", r.span.StartTime())
+		qw.Finish()
+	}
+	execSpans := make([]*trace.Span, len(batch))
+	for i, r := range batch {
+		execSpans[i] = r.span.StartChild("serve.execute",
+			telemetry.Int("batch_size", len(batch)))
+	}
 	outputs, err := b.Execute(inputs)
 	if err == nil && len(outputs) != len(batch) {
 		err = errors.New("serve: executor returned wrong output count")
+	}
+	for _, sp := range execSpans {
+		if err != nil {
+			sp.Annotate(telemetry.String("error", err.Error()))
+		}
+		sp.Finish()
 	}
 	b.mu.Lock()
 	b.batches++
@@ -179,11 +199,25 @@ func (b *Batcher) run(batch []*Request) {
 // real response (its batch was collected before shutdown) or
 // ErrBatcherClosed — never a fabricated zero-value response.
 func (b *Batcher) Submit(input []float64) (Response, error) {
-	r := &Request{Input: input, enqueued: b.clk.Now(), result: make(chan Response, 1)}
+	return b.submit(input, nil)
+}
+
+// SubmitTraced is Submit with the request recorded as a "serve.request"
+// child span of parent: batcher queue wait and batch execution become
+// child spans, and closed/failed outcomes are annotated. A nil parent
+// behaves exactly like Submit.
+func (b *Batcher) SubmitTraced(input []float64, parent *trace.Span) (Response, error) {
+	return b.submit(input, parent.StartChild("serve.request"))
+}
+
+func (b *Batcher) submit(input []float64, span *trace.Span) (Response, error) {
+	r := &Request{Input: input, enqueued: b.clk.Now(), result: make(chan Response, 1), span: span}
 	b.closeMu.RLock()
 	if b.closed {
 		b.closeMu.RUnlock()
 		b.tel.Counter("serve.rejected_closed").Inc()
+		span.Annotate(telemetry.String("error", ErrBatcherClosed.Error()))
+		span.Finish()
 		return Response{}, ErrBatcherClosed
 	}
 	// Enqueue while holding the read lock. The queue is bounded, but
@@ -193,8 +227,15 @@ func (b *Batcher) Submit(input []float64) (Response, error) {
 	b.queue <- r
 	b.closeMu.RUnlock()
 	// The response always arrives: either an instance executed the batch
-	// or Close's drain answered with ErrBatcherClosed.
+	// or Close's drain answered with ErrBatcherClosed — so this is the
+	// single place the request span finishes.
 	resp := <-r.result
+	if resp.Err != nil {
+		span.Annotate(telemetry.String("error", resp.Err.Error()))
+	} else {
+		span.Annotate(telemetry.Int("batch_size", resp.BatchSize))
+	}
+	span.Finish()
 	if resp.Err != nil && errors.Is(resp.Err, ErrBatcherClosed) {
 		return Response{}, ErrBatcherClosed
 	}
@@ -215,6 +256,22 @@ func (b *Batcher) TrySubmit(input []float64) (Response, error) {
 		return Response{}, ErrOverloaded
 	}
 	return b.Submit(input)
+}
+
+// TrySubmitTraced is TrySubmit with tracing: shed requests still get a
+// (zero-duration) "serve.request" span annotated with the overload, so
+// traces show every rejection the client saw.
+func (b *Batcher) TrySubmitTraced(input []float64, parent *trace.Span) (Response, error) {
+	if len(b.queue) >= cap(b.queue) {
+		b.tel.Counter("serve.shed").Inc()
+		b.tel.Emit("serve.shed")
+		span := parent.StartChild("serve.request",
+			telemetry.String("outcome", "shed"),
+			telemetry.String("error", ErrOverloaded.Error()))
+		span.Finish()
+		return Response{}, ErrOverloaded
+	}
+	return b.SubmitTraced(input, parent)
 }
 
 // Close stops the instances. In-flight batches finish; queued requests

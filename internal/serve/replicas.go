@@ -8,6 +8,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // ErrNoReplicas is returned by ReplicaSet.Do when no replica has been
@@ -123,6 +124,30 @@ func (rs *ReplicaSet) Do(fn func(replicaName string) error) error {
 		}
 	}
 	rs.mu.Unlock()
+	return err
+}
+
+// DoTraced is Do with the routed call recorded as a "serve.replica_call"
+// child span of parent: the chosen replica is annotated, and rejections
+// are labeled by kind — "rejected" when every replica was saturated or
+// circuit-broken (ErrOverloaded), "error" when the call itself failed. A
+// nil parent behaves exactly like Do.
+func (rs *ReplicaSet) DoTraced(parent *trace.Span, fn func(replicaName string) error) error {
+	span := parent.StartChild("serve.replica_call")
+	err := rs.Do(func(replicaName string) error {
+		span.Annotate(telemetry.String("replica", replicaName))
+		return fn(replicaName)
+	})
+	if err != nil {
+		outcome := "error"
+		if errors.Is(err, ErrOverloaded) {
+			outcome = "rejected"
+		}
+		span.Annotate(
+			telemetry.String("outcome", outcome),
+			telemetry.String("error", err.Error()))
+	}
+	span.Finish()
 	return err
 }
 

@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/trace"
+)
+
+// TestBatcherSubmitTracedSpans pins the traced request shape: a
+// serve.request child under the caller's span with a backdated
+// serve.queue_wait and a batch-size-stamped serve.execute.
+func TestBatcherSubmitTracedSpans(t *testing.T) {
+	tracer := trace.New(1, func() float64 { return 0 })
+	root := tracer.StartTrace("api")
+	b := NewBatcher(4, time.Millisecond, 1, func(in [][]float64) ([][]float64, error) {
+		return in, nil
+	})
+	resp, err := b.SubmitTraced([]float64{7}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Output) != 1 || resp.Output[0] != 7 {
+		t.Fatalf("response = %+v, want echo of input", resp)
+	}
+	b.Close()
+	root.Finish()
+
+	td, ok := tracer.TraceByID(root.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	byName := map[string]trace.SpanData{}
+	for _, s := range td.Spans {
+		byName[s.Name] = s
+		if !s.Finished() {
+			t.Errorf("span %s left open", s.Name)
+		}
+	}
+	for _, want := range []string{"api", "serve.request", "serve.queue_wait", "serve.execute"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("missing span %q:\n%s", want, trace.Tree(td))
+		}
+	}
+	if got := byName["serve.execute"].Attr("batch_size"); got != "1" {
+		t.Errorf("execute batch_size attr = %q, want 1", got)
+	}
+	if byName["serve.request"].Parent != byName["api"].ID {
+		t.Error("serve.request is not a child of the caller's span")
+	}
+	if got := byName["serve.request"].Attr("error"); got != "" {
+		t.Errorf("successful request carries error attr %q", got)
+	}
+}
+
+// TestReplicaSetDoTracedAnnotations: a traced replica call records the
+// replica that served it, and a rejected call is annotated as such.
+func TestReplicaSetDoTracedAnnotations(t *testing.T) {
+	tracer := trace.New(1, func() float64 { return 0 })
+	root := tracer.StartTrace("api")
+	rs := NewReplicaSet(3, time.Minute, clock.NewManual(time.Unix(0, 0)), nil)
+	rs.Add("r0", 4)
+	if err := rs.DoTraced(root, func(name string) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	someErr := errors.New("boom")
+	if err := rs.DoTraced(root, func(name string) error { return someErr }); !errors.Is(err, someErr) {
+		t.Fatalf("DoTraced error = %v, want %v", err, someErr)
+	}
+	root.Finish()
+
+	td, ok := tracer.TraceByID(root.TraceID())
+	if !ok {
+		t.Fatal("trace not recorded")
+	}
+	var calls []trace.SpanData
+	for _, s := range td.Spans {
+		if s.Name == "serve.replica_call" {
+			calls = append(calls, s)
+			if !s.Finished() {
+				t.Errorf("replica call span left open")
+			}
+		}
+	}
+	if len(calls) != 2 {
+		t.Fatalf("want 2 replica_call spans, got %d:\n%s", len(calls), trace.Tree(td))
+	}
+	var okCall, errCall bool
+	for _, s := range calls {
+		if s.Attr("replica") != "r0" {
+			t.Errorf("replica attr = %q, want r0", s.Attr("replica"))
+		}
+		switch s.Attr("outcome") {
+		case "":
+			okCall = true
+		case "error":
+			errCall = true
+			if s.Attr("error") != "boom" {
+				t.Errorf("error attr = %q, want boom", s.Attr("error"))
+			}
+		}
+	}
+	if !okCall || !errCall {
+		t.Errorf("want one clean and one error call, got ok=%v err=%v", okCall, errCall)
+	}
+}

@@ -159,6 +159,69 @@ func TestConcurrentEmitSubscribe(t *testing.T) {
 	}
 }
 
+// TestSubscribeDuringEmit is the regression test for the torn
+// subscriber-list hazard: subscribers added or cancelled while an Emit
+// is mid-delivery must never corrupt the list, each subscriber must see
+// events in strictly increasing Seq order with no duplicates, and —
+// because delivery happens outside the bus lock — a callback may itself
+// Subscribe without deadlocking. Run under -race.
+func TestSubscribeDuringEmit(t *testing.T) {
+	b := NewWithRing(64)
+	done := make(chan struct{})
+	var emitWG sync.WaitGroup
+	emitWG.Add(1)
+	go func() {
+		defer emitWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+				b.Emit("tick", Int("i", i))
+			}
+		}
+	}()
+
+	var churnWG sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			for i := 0; i < 200; i++ {
+				var mu sync.Mutex
+				last := int64(-1)
+				cancel := b.Subscribe(func(e Event) {
+					mu.Lock()
+					defer mu.Unlock()
+					if int64(e.Seq) <= last {
+						t.Errorf("subscriber saw Seq %d after %d (torn or duplicated delivery)", e.Seq, last)
+					}
+					last = int64(e.Seq)
+				})
+				cancel()
+			}
+		}()
+	}
+
+	// Reentrancy: a callback that subscribes mid-delivery would deadlock
+	// if Emit invoked subscribers while still holding the bus lock.
+	reentered := make(chan struct{})
+	var once sync.Once
+	cancel := b.Subscribe(func(Event) {
+		once.Do(func() {
+			inner := b.Subscribe(func(Event) {})
+			inner()
+			close(reentered)
+		})
+	})
+	<-reentered
+	cancel()
+
+	churnWG.Wait()
+	close(done)
+	emitWG.Wait()
+}
+
 func TestNilBusIsSafe(t *testing.T) {
 	var b *Bus
 	b.Counter("c").Inc()

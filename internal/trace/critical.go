@@ -1,0 +1,89 @@
+package trace
+
+import "sort"
+
+// PathStep is one span on a trace's critical path, with the self-time
+// the path attributes to it: the part of the span's duration not covered
+// by its own critical children.
+type PathStep struct {
+	Span SpanData
+	Self float64 // hours on the critical path spent in this span itself
+}
+
+// CriticalPath extracts the longest causal chain through a trace: the
+// walk from the root to the spans that actually determined when the
+// trace finished. At every span it scans backward from the span's end,
+// repeatedly descending into the child whose end is latest without
+// passing the cursor; gaps between consecutive critical children are the
+// parent's self-time. The result is in pre-order (parent before its
+// critical children, children in forward time order) and the Self values
+// sum to exactly the root span's duration.
+//
+// Open or zero-duration children can't absorb path time, so they never
+// appear as steps. Determinism: ties on end time break toward the lower
+// span ID, matching the export sort order.
+func CriticalPath(td TraceData) []PathStep {
+	root, ok := td.Root()
+	if !ok {
+		return nil
+	}
+	children := map[ID][]SpanData{}
+	for _, s := range td.Spans {
+		if s.Parent != 0 {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+
+	var steps []PathStep
+
+	// walk appends s and its critical descendants to steps. Each pick
+	// moves the cursor to the picked child's start, which is strictly
+	// before its end, so the scan terminates without bookkeeping.
+	var walk func(s SpanData)
+	walk = func(s SpanData) {
+		idx := len(steps)
+		steps = append(steps, PathStep{Span: s})
+
+		cursor := s.endOrStart()
+		self := 0.0
+		var critical []SpanData
+		for cursor > s.Start {
+			var best *SpanData
+			for i := range children[s.ID] {
+				c := &children[s.ID][i]
+				e := c.endOrStart()
+				if c.Start < s.Start || e <= c.Start || e > cursor {
+					continue
+				}
+				if best == nil || e > best.endOrStart() ||
+					(e == best.endOrStart() && c.ID < best.ID) {
+					best = c
+				}
+			}
+			if best == nil {
+				break
+			}
+			self += cursor - best.endOrStart()
+			cursor = best.Start
+			critical = append(critical, *best)
+		}
+		if cursor > s.Start {
+			self += cursor - s.Start
+		}
+		steps[idx].Self = self
+
+		// Recurse in forward time order so the printed path reads
+		// chronologically.
+		sort.Slice(critical, func(i, j int) bool {
+			if critical[i].Start != critical[j].Start {
+				return critical[i].Start < critical[j].Start
+			}
+			return critical[i].ID < critical[j].ID
+		})
+		for _, c := range critical {
+			walk(c)
+		}
+	}
+	walk(root)
+	return steps
+}

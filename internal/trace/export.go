@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event, "M" = metadata). Timestamps and durations are
+// microseconds; we map one virtual hour to 3.6e9 µs so Perfetto renders
+// virtual time at real-time scale.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+const usPerHour = 3.6e9
+
+// Chrome serialises traces to Chrome trace-event JSON, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing. Each trace becomes a
+// "process" (pid = 1-based creation index) named after the trace; each
+// span becomes a complete ("X") event whose tid is its depth in the span
+// tree, so the tree reads as stacked tracks. Output is deterministic:
+// spans are pre-sorted by (Start, ID) and json.Marshal orders the args
+// maps by key, so same seed + same workload ⇒ byte-identical bytes.
+func Chrome(traces []TraceData) []byte {
+	events := []chromeEvent{}
+	for i, td := range traces {
+		pid := i + 1
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]string{"name": fmt.Sprintf("%s [%s]", td.Name, td.ID)},
+		})
+		depth := spanDepths(td)
+		for _, s := range td.Spans {
+			args := map[string]string{
+				"span":   s.ID.String(),
+				"parent": s.Parent.String(),
+			}
+			if !s.Finished() {
+				args["open"] = "true"
+			}
+			for _, a := range s.Attrs {
+				args["attr."+a.Key] = a.Value
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name,
+				Ph:   "X",
+				Ts:   s.Start * usPerHour,
+				Dur:  s.Duration() * usPerHour,
+				Pid:  pid,
+				Tid:  depth[s.ID],
+				Args: args,
+			})
+		}
+	}
+	out, err := json.MarshalIndent(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		DisplayUnit string        `json:"displayTimeUnit"`
+	}{events, "ms"}, "", " ")
+	if err != nil {
+		// Only marshal-able types above; unreachable.
+		panic(err)
+	}
+	return append(out, '\n')
+}
+
+// spanDepths returns each span's depth in the tree (root = 0). Orphaned
+// parents (impossible for tracer-built traces) count as depth 0.
+func spanDepths(td TraceData) map[ID]int {
+	parent := map[ID]ID{}
+	for _, s := range td.Spans {
+		parent[s.ID] = s.Parent
+	}
+	depth := map[ID]int{}
+	var depthOf func(id ID) int
+	depthOf = func(id ID) int {
+		if d, ok := depth[id]; ok {
+			return d
+		}
+		p := parent[id]
+		d := 0
+		if p != 0 {
+			if _, ok := parent[p]; ok {
+				depth[id] = 0 // cycle guard while recursing
+				d = depthOf(p) + 1
+			}
+		}
+		depth[id] = d
+		return d
+	}
+	for _, s := range td.Spans {
+		depthOf(s.ID)
+	}
+	return depth
+}
+
+// Tree renders a trace as an indented text tree: one line per span with
+// start, duration, and attributes, children sorted by (Start, ID).
+func Tree(td TraceData) string {
+	children := map[ID][]SpanData{}
+	var roots []SpanData
+	for _, s := range td.Spans {
+		if s.Parent == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  %s  [%.3fh, %.3fh]  %.3fh\n",
+		td.ID, td.Name, td.Start(), td.End(), td.Duration())
+	var render func(s SpanData, indent int)
+	render = func(s SpanData, indent int) {
+		fmt.Fprintf(&b, "%s- %s", strings.Repeat("  ", indent), s.Name)
+		if s.Finished() {
+			fmt.Fprintf(&b, "  [%.3fh +%.3fh]", s.Start, s.Duration())
+		} else {
+			fmt.Fprintf(&b, "  [%.3fh (open)]", s.Start)
+		}
+		if len(s.Attrs) > 0 {
+			var parts []string
+			for _, a := range s.Attrs {
+				parts = append(parts, a.Key+"="+a.Value)
+			}
+			fmt.Fprintf(&b, "  {%s}", strings.Join(parts, " "))
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.ID] {
+			render(c, indent+1)
+		}
+	}
+	for _, r := range roots {
+		render(r, 1)
+	}
+	return b.String()
+}
+
+// RenderCriticalPath formats CriticalPath output as text: each step's
+// span, interval, and self-time, plus a total line. Shared by
+// chameleonctl and the examples.
+func RenderCriticalPath(td TraceData) string {
+	steps := CriticalPath(td)
+	depth := spanDepths(td)
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path of trace %s  %s  (%.3fh total)\n",
+		td.ID, td.Name, td.Duration())
+	total := 0.0
+	for _, st := range steps {
+		s := st.Span
+		fmt.Fprintf(&b, "%s%-32s [%.3fh, %.3fh]  self %.3fh\n",
+			strings.Repeat("  ", depth[s.ID]), s.Name, s.Start, s.endOrStart(), st.Self)
+		total += st.Self
+	}
+	fmt.Fprintf(&b, "self-time sum %.3fh over %d span(s)\n", total, len(steps))
+	return b.String()
+}
