@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos trace check bench repro csv examples clean
+.PHONY: build test vet lint race chaos trace slo check bench repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -42,14 +42,32 @@ trace:
 	$(GO) test -race -count=1 -run 'Trace|Span|Critical|Chrome|SubscribeDuringEmit' \
 		./internal/report/ ./internal/telemetry/ ./internal/serve/ ./internal/jobs/
 
+# Monitoring suite: the TSDB store, PromQL-lite engine, collector, and
+# alert/SLO layer under the race detector (the scrape-while-emit and
+# histogram-consistency tests need it), then the seeded monitoring e2e:
+# the distributed-training example's alert timeline and SLO scorecard
+# must be byte-identical across runs.
+slo:
+	$(GO) test -race -count=1 ./internal/tsdb/ ./internal/alert/
+	$(GO) test -race -count=1 -run 'SLO|Alert|Dashboard|Scrape|Labeled|Histogram|MetricsJSON|EventsJSON' \
+		./internal/report/ ./internal/telemetry/
+	@mkdir -p out
+	$(GO) run ./examples/distributed-training > out/slo_run_a.txt
+	$(GO) run ./examples/distributed-training > out/slo_run_b.txt
+	cmp out/slo_run_a.txt out/slo_run_b.txt
+	@echo "slo: monitoring e2e byte-identical across runs"
+
 # Default verification path: compile, static checks (go vet plus the
 # repo's own mlsyslint pass), unit tests, the race-enabled suite (the
 # concurrent batcher/telemetry tests need it), the seeded chaos suite,
-# then the tracing suite.
-check: build vet lint test race chaos trace
+# the tracing suite, then the monitoring/SLO suite.
+check: build vet lint test race chaos trace slo
 
+# Benchmarks: the full `go test -bench` sweep, then the monitoring-stack
+# suite again via cmd/tsdbbench, which writes BENCH_tsdb.json.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/tsdbbench -o BENCH_tsdb.json
 
 # Regenerate every table and figure plus the capacity/support views.
 repro:

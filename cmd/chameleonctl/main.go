@@ -18,11 +18,17 @@
 //	resilience                      show the fault-injection scorecard
 //	usage                           show metered hours by flavor
 //	quota                           show project quota usage
-//	metrics                         show telemetry counters/gauges/histograms
-//	events [n] [-component c] [-since t]
+//	metrics [-json]                 show telemetry counters/gauges/histograms
+//	events [n] [-component c] [-since t] [-json]
 //	                                show the n most recent telemetry events
 //	                                (default 20), optionally filtered to a
 //	                                component prefix and a minimum sim time
+//	query <expr>                    evaluate a PromQL-lite expression against
+//	                                the metrics TSDB at the current sim time
+//	alerts                          show active alerts and the firing timeline
+//	slo                             show the error-budget scorecard
+//	dashboard                       fixed-layout text dashboard (capacity,
+//	                                queues, latency quantiles, burn rate)
 //	trace list                      list recorded traces (longest first)
 //	trace show <query>              print one trace's span tree
 //	trace critical [query]          critical path with per-span self-times
@@ -46,6 +52,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/alert"
 	"repro/internal/blockstore"
 	"repro/internal/cloud"
 	"repro/internal/cost"
@@ -57,6 +64,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/tsdb"
 )
 
 func main() {
@@ -78,6 +86,16 @@ func main() {
 	ls.SetTracer(tracer)
 	ls.AddPool(cloud.GPUA100PCIe, 2) // registers the bare-metal hosts too
 	sched.SetTelemetry(bus)
+	// Monitoring: the collector scrapes the bus into the TSDB every 0.25
+	// simulated hours (advance time to accumulate history), and the alert
+	// engine evaluates its rules on every scrape.
+	coll := tsdb.NewCollector(tsdb.New(tsdb.Options{}), bus, 0.25)
+	db := coll.DB()
+	eng := alert.NewEngine(db)
+	eng.AddRule(alert.Rule{Name: "HostDown", Expr: "cloud.hosts_down > 0",
+		For: 0, Severity: "page"})
+	coll.OnScrape(eng.Step)
+	coll.Start(clk, nil)
 
 	fmt.Println("chameleonctl — OpenStack-style CLI over the cloud simulator (type 'help')")
 	sc := bufio.NewScanner(os.Stdin)
@@ -97,8 +115,9 @@ func main() {
 			fmt.Println("volume <name> <GB> | attach <vol-id> <inst-id> |")
 			fmt.Println("reserve <start> <end> | sched <policy> <jobs> <gpus> | batch <n> |")
 			fmt.Println("hosts | fail <host> | recover <host> | resilience |")
-			fmt.Println("advance <hours> | usage | quota | metrics | quit |")
-			fmt.Println("events [n] [-component c] [-since t] |")
+			fmt.Println("advance <hours> | usage | quota | metrics [-json] | quit |")
+			fmt.Println("events [n] [-component c] [-since t] [-json] |")
+			fmt.Println("query <expr> | alerts | slo | dashboard |")
 			fmt.Println("trace list | trace show <query> | trace critical [query] |")
 			fmt.Println("trace cost | trace export <file>")
 		case "launch":
@@ -321,12 +340,47 @@ func main() {
 		case "resilience":
 			fmt.Print(report.ResilienceSummary(bus))
 		case "metrics":
+			if len(fields) == 2 && fields[1] == "-json" {
+				out, err := report.MetricsJSON(bus.Snapshot())
+				if err != nil {
+					fmt.Println(err)
+					break
+				}
+				fmt.Print(out)
+				break
+			}
 			fmt.Print(report.Metrics(bus.Snapshot()))
+		case "query":
+			if len(fields) < 2 {
+				fmt.Println("usage: query <promql-lite expression>")
+				break
+			}
+			v, err := db.Query(strings.Join(fields[1:], " "), clk.Now())
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			fmt.Print(tsdb.FormatValue(v))
+		case "alerts":
+			fmt.Print(report.Alerts(eng.Active(), eng.Timeline()))
+			if errs := eng.Errors(); len(errs) > 0 {
+				fmt.Println("rule errors:")
+				for _, e := range errs {
+					fmt.Println(" ", e)
+				}
+			}
+		case "slo":
+			fmt.Print(report.SLOSummary(eng.Statuses(clk.Now())))
+		case "dashboard":
+			fmt.Print(report.Dashboard(db, eng, clk.Now()))
 		case "events":
 			n, component, since := 20, "", -1.0
+			asJSON := false
 			bad := false
 			for i := 1; i < len(fields); i++ {
 				switch fields[i] {
+				case "-json":
+					asJSON = true
 				case "-component":
 					if i+1 >= len(fields) {
 						fmt.Println("usage: -component <name>")
@@ -370,6 +424,15 @@ func main() {
 			evs := report.FilterEvents(bus.Events(0), component, since)
 			if len(evs) > n {
 				evs = evs[len(evs)-n:]
+			}
+			if asJSON {
+				out, err := report.EventsJSON(evs)
+				if err != nil {
+					fmt.Println(err)
+					break
+				}
+				fmt.Print(out)
+				break
 			}
 			fmt.Print(report.Events(evs))
 		case "trace":

@@ -1,0 +1,66 @@
+// Command tsdbbench runs the monitoring-stack benchmark suite (bus emit,
+// collector scrape, rate query) outside `go test` and writes
+// machine-readable results to BENCH_tsdb.json, so perf regressions in
+// the observability hot paths show up as a diffable artifact.
+//
+// Usage:
+//
+//	go run ./cmd/tsdbbench [-o BENCH_tsdb.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/tsdb/bench"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_tsdb.json", "output path for the JSON results")
+	flag.Parse()
+
+	cases := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"BusEmit", bench.BusEmit},
+		{"CollectorScrape", bench.CollectorScrape},
+		{"QueryRate", bench.QueryRate},
+	}
+	results := make([]result, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		res := result{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		results = append(results, res)
+		fmt.Printf("%-18s %12d iter  %14.1f ns/op  %8d B/op  %6d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tsdbbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "tsdbbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

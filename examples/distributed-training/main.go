@@ -17,6 +17,12 @@
 //     tree (job → collective → per-rank phases, including the ring
 //     reformation), the orchestrator records the evacuation, and the
 //     run prints the critical path plus a Chrome trace-event export.
+//  7. Monitor the incident end to end: a collector scrapes the telemetry
+//     bus into the metrics TSDB every 0.25 simulated hours, a latency
+//     alert on the p95 pod-reschedule time trips when the chaos fault
+//     forces an evacuation (and resolves once the window drains), and a
+//     training-step SLO scorecard shows the error budget the outage
+//     burned — all at byte-identical timestamps for the fixed seed.
 //
 // Run with: go run ./examples/distributed-training
 package main
@@ -26,7 +32,9 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"strings"
 
+	"repro/internal/alert"
 	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/collective"
@@ -39,6 +47,7 @@ import (
 	"repro/internal/trace"
 	"repro/internal/tracking"
 	"repro/internal/train"
+	"repro/internal/tsdb"
 )
 
 func main() {
@@ -219,6 +228,43 @@ func main() {
 	// from the cloud and evacuates pods off dead nodes.
 	clk.Every(1, 1, "control-loop", func() { orch.SyncFromCloud(cl) },
 		func() bool { return clk.Now() >= 6 })
+	// Monitoring: scrape the bus into the TSDB every 0.25 virtual hours
+	// and evaluate alert + SLO rules on every scrape. The latency alert
+	// keys on the orchestrator's reschedule histogram: the crash at
+	// t=2.5h forces an evacuation at the t=3.0h control-loop tick
+	// (MTTR 0.5h), the p95 crosses the 0.25h objective, the alert holds
+	// pending for 0.5h, fires, and resolves once the 2h window drains.
+	// Pre-register the reschedule histogram (same bounds the orchestrator
+	// uses) so its bucket series exist from the first scrape: increase()
+	// needs a pre-incident baseline sample or it drops the series.
+	bus.Histogram("orchestrator.reschedule_latency_hours", telemetry.ExpBuckets(0.25, 2, 10))
+	coll := tsdb.NewCollector(tsdb.New(tsdb.Options{}), bus, 0.25)
+	mon := alert.NewEngine(coll.DB())
+	mon.AddRule(alert.Rule{
+		Name:     "PodRescheduleSlow",
+		Expr:     "histogram_quantile(0.95, increase(orchestrator.reschedule_latency_hours_bucket[2h])) > 0.25",
+		For:      0.5,
+		Severity: "page",
+	})
+	mon.AddSLO(alert.SLO{Name: "train-steps", Objective: 0.99,
+		Good: `train.steps{outcome="ok"}`, Total: "train.steps", Window: 6})
+	mon.OnTransition(func(tr alert.Transition) {
+		fmt.Printf("  t=%.2fh: alert %s %s -> %s\n", tr.At, tr.Rule, tr.From, tr.To)
+	})
+	coll.OnScrape(mon.Step)
+	// Heartbeat: one training step per trainer pod per tick, marked
+	// missed while the pod sits on a dead node — the SLO's raw material.
+	clk.Every(0.25, 0.25, "train-heartbeat", func() {
+		for _, p := range orch.Pods("trainer") {
+			outcome := "ok"
+			if p.Node == "" || !mustGet(cl, p.Node).Running() {
+				outcome = "missed"
+			}
+			bus.Counter(telemetry.Labeled("train.steps",
+				telemetry.String("outcome", outcome))).Inc()
+		}
+	}, func() bool { return clk.Now() >= 6 })
+	coll.Start(clk, func() bool { return clk.Now() >= 6 })
 	// The training step that was in flight when the rank died: the ring
 	// reforms around the survivors instead of hanging.
 	clk.At(2.5, "all-reduce-step", func() {
@@ -271,6 +317,23 @@ func main() {
 	fmt.Printf("\n  chrome export: %d traces, %d bytes, valid JSON = %v\n",
 		tracer.Len(), len(export), json.Valid(export))
 	fmt.Println("  (pipe to a file and open in https://ui.perfetto.dev to see the timeline)")
+
+	// --- 7. Monitoring: the incident as alerts and error budget ----------
+	fmt.Println("\n== Monitoring: the incident as alerts and error budget ==")
+	v, err := coll.DB().Query(
+		"histogram_quantile(0.95, orchestrator.reschedule_latency_hours_bucket)", clk.Now())
+	check(err)
+	fmt.Printf("  p95 pod-reschedule latency (hours):\n")
+	for _, line := range strings.Split(strings.TrimRight(tsdb.FormatValue(v), "\n"), "\n") {
+		fmt.Printf("    %s\n", line)
+	}
+	fmt.Println()
+	fmt.Print(report.SLOSummary(mon.Statuses(clk.Now())))
+	fmt.Println()
+	fmt.Print(report.Alerts(mon.Active(), mon.Timeline()))
+	if errs := mon.Errors(); len(errs) > 0 {
+		log.Fatalf("alert rules reported errors: %v", errs)
+	}
 }
 
 // mustGet returns the named instance; the example's instances exist by

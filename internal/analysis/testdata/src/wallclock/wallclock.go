@@ -13,6 +13,13 @@ func bad() {
 	_ = time.Until(time.Time{})    // want `time\.Until reads the machine clock`
 }
 
+// badTimers holds timers that wake on the machine clock, not sim time.
+func badTimers() {
+	_ = time.NewTimer(time.Second)       // want `time\.NewTimer reads the machine clock`
+	_ = time.NewTicker(time.Second)      // want `time\.NewTicker reads the machine clock`
+	_ = time.AfterFunc(time.Second, nil) // want `time\.AfterFunc reads the machine clock`
+}
+
 // suppressed demonstrates an authorized, justified real-time read.
 func suppressed() {
 	//lint:ignore wallclock fixture: demonstrates an authorized real-time read with a written reason

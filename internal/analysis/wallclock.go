@@ -17,6 +17,11 @@ var wallclockBanned = map[string]bool{
 	"Tick":  true,
 	"Since": true, // reads time.Now internally
 	"Until": true, // reads time.Now internally
+	// Timer constructors block on (or fire from) the machine clock; a
+	// simulated component holding one wakes up on wall time, not sim time.
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
 }
 
 // Wallclock returns the check that forbids wall-clock reads outside the
@@ -28,8 +33,9 @@ var wallclockBanned = map[string]bool{
 func Wallclock(allowed ...string) *Analyzer {
 	a := &Analyzer{
 		Name: "wallclock",
-		Doc: "forbids time.Now/Sleep/After/Tick/Since/Until outside the clock boundary; " +
-			"simulated components must observe virtual time through an injected clock.Clock",
+		Doc: "forbids time.Now/Sleep/After/Tick/Since/Until/NewTimer/NewTicker/AfterFunc " +
+			"outside the clock boundary; simulated components must observe virtual time " +
+			"through an injected clock.Clock",
 	}
 	a.Run = func(pass *Pass) {
 		for _, pat := range allowed {

@@ -255,8 +255,13 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 			telemetry.String("host", host.Name))
 	}
 	c.tel.Counter("cloud.launches").Inc()
+	c.tel.Counter(telemetry.Labeled("cloud.launches",
+		telemetry.String("flavor", spec.Flavor.Name),
+		telemetry.String("project", spec.Project))).Inc()
 	c.tel.Counter("cloud.meter.opened").Inc()
 	c.tel.Gauge("cloud.instances_active").Add(1)
+	c.tel.Gauge(telemetry.Labeled("cloud.instances_active",
+		telemetry.String("flavor", spec.Flavor.Name))).Add(1)
 	c.tel.Emit("cloud.instance.launch",
 		telemetry.String("id", inst.ID),
 		telemetry.String("project", spec.Project),
@@ -327,7 +332,12 @@ func (c *Cloud) deleteLocked(instanceID string) error {
 	c.tel.Counter("cloud.deletes").Inc()
 	c.tel.Counter("cloud.meter.closed").Inc()
 	c.tel.Gauge("cloud.instances_active").Add(-1)
+	c.tel.Gauge(telemetry.Labeled("cloud.instances_active",
+		telemetry.String("flavor", inst.Flavor.Name))).Add(-1)
 	c.tel.Histogram("cloud.instance_hours", telemetry.ExpBuckets(0.25, 2, 12)).
+		Observe(inst.DeletedAt - inst.LaunchedAt)
+	c.tel.Histogram(telemetry.Labeled("cloud.instance_hours",
+		telemetry.String("flavor", inst.Flavor.Name)), telemetry.ExpBuckets(0.25, 2, 12)).
 		Observe(inst.DeletedAt - inst.LaunchedAt)
 	c.tel.Emit("cloud.instance.delete",
 		telemetry.String("id", inst.ID),

@@ -131,9 +131,16 @@ func (c *Cloud) failInstanceLocked(inst *Instance, reason string) {
 		delete(c.instSpans, inst.ID)
 	}
 	c.tel.Counter("cloud.instance_failures").Inc()
+	c.tel.Counter(telemetry.Labeled("cloud.instance_failures",
+		telemetry.String("flavor", inst.Flavor.Name))).Inc()
 	c.tel.Counter("cloud.meter.closed").Inc()
 	c.tel.Gauge("cloud.instances_active").Add(-1)
+	c.tel.Gauge(telemetry.Labeled("cloud.instances_active",
+		telemetry.String("flavor", inst.Flavor.Name))).Add(-1)
 	c.tel.Histogram("cloud.instance_hours", telemetry.ExpBuckets(0.25, 2, 12)).
+		Observe(inst.FailedAt - inst.LaunchedAt)
+	c.tel.Histogram(telemetry.Labeled("cloud.instance_hours",
+		telemetry.String("flavor", inst.Flavor.Name)), telemetry.ExpBuckets(0.25, 2, 12)).
 		Observe(inst.FailedAt - inst.LaunchedAt)
 	c.tel.Emit("cloud.instance.error",
 		telemetry.String("id", inst.ID),

@@ -28,6 +28,8 @@ func recordOp(algo string, workers, length, elemsMoved int) {
 	bytes := int64(elemsMoved) * 8
 	b.Counter("collective.ops").Inc()
 	b.Counter("collective." + algo + ".bytes").Add(bytes)
+	b.Counter(telemetry.Labeled("collective.bytes",
+		telemetry.String("algo", algo))).Add(bytes)
 	b.Histogram("collective.op_bytes", telemetry.ExpBuckets(1024, 4, 12)).Observe(float64(bytes))
 	b.Emit("collective.op",
 		telemetry.String("algo", algo),

@@ -182,6 +182,16 @@ func (p *Pool) worker() {
 		p.executed++
 		p.mu.Unlock()
 		tel.Counter("jobs.executed").Inc()
+		outcome, traced := "ok", "no"
+		if res.Err != nil {
+			outcome = "err"
+		}
+		if sub.span.TraceID() != 0 {
+			traced = "yes"
+		}
+		tel.Counter(telemetry.Labeled("jobs.executed",
+			telemetry.String("outcome", outcome),
+			telemetry.String("traced", traced))).Inc()
 		sub.span.Annotate(telemetry.Int("attempts", res.Attempts))
 		if res.Err != nil {
 			sub.span.Annotate(telemetry.String("error", res.Err.Error()))

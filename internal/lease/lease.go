@@ -177,6 +177,9 @@ func (s *Service) bookLocked(spec Spec) (*Reservation, error) {
 		return nil, err
 	}
 	s.tel.Counter("lease.bookings").Inc()
+	s.tel.Counter(telemetry.Labeled("lease.bookings",
+		telemetry.String("node_type", r.NodeType),
+		telemetry.String("project", r.Project))).Inc()
 	s.tel.Histogram("lease.duration_hours", telemetry.LinearBuckets(1, 1, 12)).Observe(r.Hours())
 	s.tel.Emit("lease.book",
 		telemetry.String("id", r.ID),

@@ -1,0 +1,87 @@
+package report
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// JSON shapes for `chameleonctl metrics -json` / `events -json`. Bucket
+// bounds are strings because the overflow bound is +Inf, which JSON
+// numbers cannot represent ("+Inf", matching the TSDB's le label).
+
+type metricJSON struct {
+	Name    string       `json:"name"`
+	Kind    string       `json:"kind"`
+	Value   *float64     `json:"value,omitempty"`
+	Count   *int64       `json:"count,omitempty"`
+	Sum     *float64     `json:"sum,omitempty"`
+	Buckets []bucketJSON `json:"buckets,omitempty"`
+}
+
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MetricsJSON renders a telemetry snapshot as a JSON array, one object
+// per metric, in snapshot (sorted-name) order.
+func MetricsJSON(snap []telemetry.Metric) (string, error) {
+	out := make([]metricJSON, 0, len(snap))
+	for _, m := range snap {
+		j := metricJSON{Name: m.Name, Kind: m.Kind}
+		if m.Kind == "histogram" {
+			count, sum := m.Count, m.Sum
+			j.Count, j.Sum = &count, &sum
+			cum := int64(0)
+			for _, b := range m.Buckets {
+				cum += b.Count
+				j.Buckets = append(j.Buckets, bucketJSON{LE: formatLE(b.Bound), Count: cum})
+			}
+		} else {
+			v := m.Value
+			j.Value = &v
+		}
+		out = append(out, j)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(data) + "\n", nil
+}
+
+type eventJSON struct {
+	Seq   uint64            `json:"seq"`
+	Span  string            `json:"span"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// EventsJSON renders trace events as a JSON array, oldest first.
+func EventsJSON(events []telemetry.Event) (string, error) {
+	out := make([]eventJSON, 0, len(events))
+	for _, e := range events {
+		j := eventJSON{Seq: e.Seq, Span: e.Span}
+		if len(e.Attrs) > 0 {
+			j.Attrs = make(map[string]string, len(e.Attrs))
+			for _, a := range e.Attrs {
+				j.Attrs[a.Key] = a.Value
+			}
+		}
+		out = append(out, j)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(data) + "\n", nil
+}
+
+func formatLE(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}

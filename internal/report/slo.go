@@ -1,0 +1,151 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/alert"
+	"repro/internal/tsdb"
+)
+
+// SLOSummary renders the error-budget scorecard: per SLO, the good/total
+// event counts over the window, the error ratio against the budget, how
+// much of the budget is consumed, and the fast/slow burn rates. The
+// Good/Total columns reconcile exactly with the raw counter totals on
+// the telemetry bus when the window covers the whole run.
+func SLOSummary(statuses []alert.Status) string {
+	if len(statuses) == 0 {
+		return "slo: none configured\n"
+	}
+	rows := [][]string{{"slo", "objective", "window", "good", "total",
+		"error", "budget", "consumed", "fast burn", "slow burn", "status"}}
+	for _, st := range statuses {
+		verdict := "OK"
+		if !st.Met() {
+			verdict = "BREACHED"
+		}
+		rows = append(rows, []string{
+			st.Name,
+			fmt.Sprintf("%.4g", st.Objective),
+			fmt.Sprintf("%gh", st.Window),
+			fmt.Sprintf("%.0f", st.Good),
+			fmt.Sprintf("%.0f", st.Total),
+			fmt.Sprintf("%.4f", st.ErrorRatio),
+			fmt.Sprintf("%.4f", st.Budget),
+			fmt.Sprintf("%.1f%%", st.BudgetConsumed*100),
+			fmt.Sprintf("%.2fx", st.FastBurn),
+			fmt.Sprintf("%.2fx", st.SlowBurn),
+			verdict,
+		})
+	}
+	return Table(rows)
+}
+
+// Alerts renders the live alert instances and the full deterministic
+// transition timeline — the incident history for one seeded run.
+func Alerts(active []alert.Instance, timeline []alert.Transition) string {
+	var b strings.Builder
+	b.WriteString("== Alerts ==\n")
+	if len(active) == 0 {
+		b.WriteString("active: none\n")
+	} else {
+		rows := [][]string{{"rule", "labels", "state", "severity", "since", "value"}}
+		for _, in := range active {
+			rows = append(rows, []string{in.Rule, in.Labels.String(), in.State.String(),
+				in.Severity, fmt.Sprintf("t=%.2fh", in.ActiveSince),
+				fmt.Sprintf("%.4g", in.Value)})
+		}
+		b.WriteString(Table(rows))
+	}
+	if len(timeline) > 0 {
+		fmt.Fprintf(&b, "\ntimeline (%d transitions):\n", len(timeline))
+		b.WriteString(alert.RenderTimeline(timeline))
+	}
+	return b.String()
+}
+
+// Dashboard renders the fixed-layout text dashboard over the TSDB:
+// capacity gauges, queue depth, latency quantiles for every scraped
+// histogram, SLO scorecard, and active alerts. Every panel is driven by
+// PromQL-lite queries against step-aligned scrapes, so the output is
+// byte-identical for the same seed.
+func Dashboard(db *tsdb.DB, eng *alert.Engine, now float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== Dashboard (t=%.2fh) ==\n", now)
+
+	b.WriteString("\n-- Capacity --\n")
+	writePanel(&b, db, now, "cloud.instances_active", "cloud.instances_active")
+	writePanel(&b, db, now, "cloud.hosts_down", "cloud.hosts_down")
+	writePanel(&b, db, now, "launch rate (1h)", "rate(cloud.launches[1h])")
+
+	b.WriteString("\n-- Queues --\n")
+	writePanel(&b, db, now, "serve.queue_depth", "serve.queue_depth")
+	writePanel(&b, db, now, "sched jobs rate (1h)", `rate(sched.jobs_scheduled{policy!=""}[1h])`)
+
+	b.WriteString("\n-- Latency quantiles --\n")
+	wroteAny := false
+	for _, name := range db.Names() {
+		if !strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		base := strings.TrimSuffix(name, "_bucket")
+		var cells []string
+		ok := true
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			expr := fmt.Sprintf("histogram_quantile(%g, %s)", q, name)
+			v, err := db.Query(expr, now)
+			vec, isVec := v.(tsdb.Vector)
+			if err != nil || !isVec || len(vec) == 0 {
+				ok = false
+				break
+			}
+			// Prefer the un-labeled roll-up series (the flat instrument);
+			// fall back to the first group for labeled-only histograms.
+			sample := vec[0]
+			for _, s := range vec {
+				if len(s.Labels) == 0 {
+					sample = s
+					break
+				}
+			}
+			cells = append(cells, fmt.Sprintf("%.4g", sample.V))
+		}
+		if ok {
+			fmt.Fprintf(&b, "%-40s p50=%s p95=%s p99=%s\n", base, cells[0], cells[1], cells[2])
+			wroteAny = true
+		}
+	}
+	if !wroteAny {
+		b.WriteString("(no histograms scraped)\n")
+	}
+
+	if eng != nil {
+		b.WriteString("\n-- Error budget --\n")
+		b.WriteString(SLOSummary(eng.Statuses(now)))
+		b.WriteString("\n")
+		b.WriteString(Alerts(eng.Active(), nil))
+	}
+	return b.String()
+}
+
+// writePanel renders one dashboard line per series of a query result;
+// empty results print a placeholder so the layout stays fixed.
+func writePanel(b *strings.Builder, db *tsdb.DB, now float64, title, expr string) {
+	v, err := db.Query(expr, now)
+	if err != nil {
+		fmt.Fprintf(b, "%-40s (query error: %v)\n", title, err)
+		return
+	}
+	vec, ok := v.(tsdb.Vector)
+	if !ok || len(vec) == 0 {
+		fmt.Fprintf(b, "%-40s -\n", title)
+		return
+	}
+	for _, s := range vec {
+		label := title
+		if len(s.Labels) > 0 {
+			label = title + s.Labels.Signature()
+		}
+		fmt.Fprintf(b, "%-40s %.4g\n", label, s.V)
+	}
+}

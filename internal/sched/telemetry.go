@@ -30,6 +30,8 @@ func recordRun(policy string, res Result) {
 	}
 	b.Counter("sched.runs").Inc()
 	b.Counter("sched.jobs_scheduled").Add(int64(len(res.Assignments)))
+	b.Counter(telemetry.Labeled("sched.jobs_scheduled",
+		telemetry.String("policy", policy))).Add(int64(len(res.Assignments)))
 	h := b.Histogram("sched.queue_wait_hours", queueWaitBuckets())
 	for _, a := range res.Assignments {
 		h.Observe(a.Wait())
@@ -48,6 +50,8 @@ func recordPreemptiveRun(res PreemptiveResult) {
 	}
 	b.Counter("sched.runs").Inc()
 	b.Counter("sched.jobs_scheduled").Add(int64(len(res.Assignments)))
+	b.Counter(telemetry.Labeled("sched.jobs_scheduled",
+		telemetry.String("policy", "preemptive"))).Add(int64(len(res.Assignments)))
 	b.Counter("sched.preemptions").Add(int64(res.TotalPreemptions))
 	h := b.Histogram("sched.queue_wait_hours", queueWaitBuckets())
 	for _, a := range res.Assignments {

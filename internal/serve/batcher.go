@@ -127,6 +127,7 @@ func (b *Batcher) instance() {
 			return
 		}
 		batch := []*Request{first}
+		//lint:ignore wallclock MaxDelay bounds batch formation across real goroutines; a virtual clock cannot wake a blocked select, and batch latency is measured through the injected b.clk, so the wall timer never leaks into simulated time
 		timer := time.NewTimer(b.MaxDelay)
 	collect:
 		for len(batch) < b.MaxBatch {
@@ -180,6 +181,23 @@ func (b *Batcher) run(batch []*Request) {
 	b.mu.Unlock()
 	b.tel.Counter("serve.batches").Inc()
 	b.tel.Counter("serve.requests").Add(int64(len(batch)))
+	var traced, untraced int64
+	for _, r := range batch {
+		if r.span != nil {
+			traced++
+		} else {
+			untraced++
+		}
+	}
+	if traced > 0 {
+		b.tel.Counter(telemetry.Labeled("serve.requests",
+			telemetry.String("traced", "yes"))).Add(traced)
+	}
+	if untraced > 0 {
+		b.tel.Counter(telemetry.Labeled("serve.requests",
+			telemetry.String("traced", "no"))).Add(untraced)
+	}
+	b.tel.Gauge("serve.queue_depth").Set(float64(len(b.queue)))
 	b.tel.Histogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 32)).Observe(float64(len(batch)))
 	b.tel.Histogram("serve.batch_form_seconds", telemetry.LatencyBuckets()).Observe(formation.Seconds())
 	b.tel.Emit("serve.batch",
@@ -225,6 +243,7 @@ func (b *Batcher) submit(input []float64, span *trace.Span) (Response, error) {
 	// `closed`, and Close cannot flip it while we hold the read lock.
 	//lint:ignore lockedcallback send under closeMu.RLock is the shutdown protocol: instances drain the queue until Close flips closed, and Close cannot flip it while this read lock is held, so the send always progresses
 	b.queue <- r
+	b.tel.Gauge("serve.queue_depth").Set(float64(len(b.queue)))
 	b.closeMu.RUnlock()
 	// The response always arrives: either an instance executed the batch
 	// or Close's drain answered with ErrBatcherClosed — so this is the

@@ -1,0 +1,12 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"repro/internal/tsdb/bench"
+)
+
+// Wrapper over the shared body in internal/tsdb/bench so `go test
+// -bench` and cmd/tsdbbench measure identical code.
+
+func BenchmarkBusEmit(b *testing.B) { bench.BusEmit(b) }

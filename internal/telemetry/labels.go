@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"sort"
+	"strings"
+)
+
+// Labeled names encode a label set into an instrument name so that the
+// existing flat-name Bus can carry dimensional metrics without changing
+// its registry: "cloud.launches{flavor=m1.large,project=mlops}". Keys
+// are sorted, so the same label set always produces the same instrument
+// (the map key in the Bus registry IS the series identity). The tsdb
+// collector parses these back into name + labels at scrape time.
+//
+// Keys and values are sanitized: the structural characters `{ } = ,`
+// and whitespace are replaced with '_' so the encoding stays
+// unambiguous. Values are expected to be low-cardinality (flavor names,
+// host names, policies) — every distinct label set is a live instrument
+// on the bus.
+
+// Labeled renders base plus a label set as a canonical instrument name.
+// With no labels it returns base unchanged. Attribute order does not
+// matter; keys are sorted. Later duplicate keys win.
+func Labeled(base string, labels ...Attr) string {
+	if len(labels) == 0 {
+		return base
+	}
+	kv := make(map[string]string, len(labels))
+	keys := make([]string, 0, len(labels))
+	for _, l := range labels {
+		k := sanitizeLabel(l.Key)
+		if _, seen := kv[k]; !seen {
+			keys = append(keys, k)
+		}
+		kv[k] = sanitizeLabel(l.Value)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(kv[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseLabeled splits a canonical labeled name back into its base name
+// and label attributes (sorted by key). Names without a label block come
+// back with nil labels; a malformed block is treated as part of the base
+// name rather than guessed at.
+func ParseLabeled(name string) (base string, labels []Attr) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	body := name[open+1 : len(name)-1]
+	base = name[:open]
+	if body == "" {
+		return base, nil
+	}
+	for _, pair := range strings.Split(body, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			return name, nil // malformed: not ours to reinterpret
+		}
+		labels = append(labels, Attr{Key: k, Value: v})
+	}
+	return base, labels
+}
+
+func sanitizeLabel(s string) string {
+	var b *strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '{', '}', '=', ',', ' ', '\t', '\n':
+			if b == nil {
+				b = &strings.Builder{}
+				b.WriteString(s[:i])
+			}
+			b.WriteByte('_')
+		default:
+			if b != nil {
+				b.WriteByte(s[i])
+			}
+		}
+	}
+	if b == nil {
+		return s
+	}
+	return b.String()
+}

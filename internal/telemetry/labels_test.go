@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLabeledRoundTrip(t *testing.T) {
+	name := Labeled("cloud.launches",
+		Attr{Key: "project", Value: "mlops"},
+		Attr{Key: "flavor", Value: "m1.large"})
+	if name != "cloud.launches{flavor=m1.large,project=mlops}" {
+		t.Errorf("Labeled = %q", name)
+	}
+	base, attrs := ParseLabeled(name)
+	if base != "cloud.launches" || len(attrs) != 2 ||
+		attrs[0] != (Attr{Key: "flavor", Value: "m1.large"}) ||
+		attrs[1] != (Attr{Key: "project", Value: "mlops"}) {
+		t.Errorf("ParseLabeled = %q, %+v", base, attrs)
+	}
+	// Order-insensitive: same set, same instrument name.
+	other := Labeled("cloud.launches",
+		Attr{Key: "flavor", Value: "m1.large"},
+		Attr{Key: "project", Value: "mlops"})
+	if other != name {
+		t.Errorf("label order changed the name: %q vs %q", other, name)
+	}
+	if got := Labeled("plain"); got != "plain" {
+		t.Errorf("no labels: %q", got)
+	}
+}
+
+func TestLabeledSanitizesStructuralChars(t *testing.T) {
+	name := Labeled("m", Attr{Key: "a b", Value: "x{y}=z,w"})
+	if name != "m{a_b=x_y__z_w}" {
+		t.Errorf("sanitized = %q", name)
+	}
+	// Sanitized names still parse cleanly.
+	base, attrs := ParseLabeled(name)
+	if base != "m" || len(attrs) != 1 || attrs[0].Key != "a_b" {
+		t.Errorf("parse after sanitize = %q, %+v", base, attrs)
+	}
+}
+
+func TestParseLabeledMalformed(t *testing.T) {
+	for _, name := range []string{
+		"plain", "trailing{", "m{noequals}", "m{=v}", "m{}x",
+	} {
+		base, attrs := ParseLabeled(name)
+		if base != name || attrs != nil {
+			t.Errorf("%q: parsed as %q %+v, want passthrough", name, base, attrs)
+		}
+	}
+	// An empty label block is a flat name.
+	if base, attrs := ParseLabeled("m{}"); base != "m" || attrs != nil {
+		t.Errorf("empty block: %q %+v", base, attrs)
+	}
+}
+
+// TestHistogramSnapshotConsistentUnderObserves pins the invariant the
+// tsdb collector relies on: a histogram snapshot's bucket counts always
+// sum to its Count, even while other goroutines are observing. (Observe
+// and the snapshot path take the same per-histogram lock, so a torn
+// read would be a locking regression.)
+func TestHistogramSnapshotConsistentUnderObserves(t *testing.T) {
+	bus := New()
+	h := bus.Histogram("lat", ExpBuckets(0.001, 2, 10))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			v := float64(seed+1) * 0.0003
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Observe(v)
+				v *= 1.1
+				if v > 10 {
+					v = 0.0001
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 500; i++ {
+		m, ok := Find(bus.Snapshot(), "lat")
+		if !ok {
+			t.Fatal("histogram missing")
+		}
+		var sum int64
+		for _, b := range m.Buckets {
+			if b.Count < 0 {
+				t.Fatalf("negative bucket count: %+v", b)
+			}
+			sum += b.Count
+		}
+		if sum != m.Count {
+			t.Fatalf("torn snapshot: buckets sum to %d, Count = %d", sum, m.Count)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,14 @@
+package tsdb_test
+
+import (
+	"testing"
+
+	"repro/internal/tsdb/bench"
+)
+
+// Wrappers over the shared bodies in internal/tsdb/bench so `go test
+// -bench` and cmd/tsdbbench measure identical code.
+
+func BenchmarkCollectorScrape(b *testing.B) { bench.CollectorScrape(b) }
+
+func BenchmarkQueryRate(b *testing.B) { bench.QueryRate(b) }

@@ -1,0 +1,158 @@
+package tsdb
+
+import (
+	"math"
+	"strconv"
+	"sync"
+
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+// Collector turns telemetry.Bus snapshots into labeled series. It
+// scrapes Bus.Snapshot() on a sim-clock-aligned interval and also
+// accepts pushed samples for metrics that never touch the bus.
+//
+// Scrape mapping (Prometheus conventions, adapted to the bus):
+//
+//   - counter  name{labels}       -> series name{labels}, cumulative total
+//   - gauge    name{labels}       -> series name{labels}, current value
+//   - histogram name{labels}      -> name_bucket{labels,le="<bound>"}
+//     (cumulative counts, le="+Inf" for the overflow bucket), plus
+//     name_sum{labels} and name_count{labels}
+//
+// Labeled instrument names ("base{k=v,...}", see telemetry.Labeled) are
+// parsed back into base name + labels; flat names become label-less
+// series. Scrapes are aligned to multiples of the interval, so two runs
+// of the same seeded scenario produce byte-identical series.
+type Collector struct {
+	db  *DB
+	bus *telemetry.Bus
+
+	// Interval is the scrape period in simulated hours.
+	Interval float64
+	// Base labels stamped onto every scraped series (e.g. site).
+	Base Labels
+
+	mu       sync.Mutex
+	onScrape []func(now float64)
+	scrapes  int64
+	samples  int64
+}
+
+// NewCollector wires a collector from bus to db. Interval must be
+// positive; it defaults to 0.25 simulated hours.
+func NewCollector(db *DB, bus *telemetry.Bus, interval float64) *Collector {
+	if interval <= 0 {
+		interval = 0.25
+	}
+	return &Collector{db: db, bus: bus, Interval: interval}
+}
+
+// DB returns the store this collector appends into.
+func (c *Collector) DB() *DB { return c.db }
+
+// OnScrape registers fn to run after every scrape (and after the DB has
+// been compacted), on the scraping goroutine. The alert engine hooks in
+// here so rule evaluation is aligned with sample ingestion.
+func (c *Collector) OnScrape(fn func(now float64)) {
+	if fn == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onScrape = append(c.onScrape, fn)
+	c.mu.Unlock()
+}
+
+// Start schedules scrapes on the simulation clock at the first multiple
+// of Interval at or after the current time, repeating every Interval
+// until stop returns true (nil stop = forever). It returns the first
+// scheduled event so callers can cancel.
+func (c *Collector) Start(clk *simclock.Clock, stop func() bool) *simclock.Event {
+	first := math.Ceil(clk.Now()/c.Interval) * c.Interval
+	if first < clk.Now() { // guard FP rounding
+		first += c.Interval
+	}
+	return clk.Every(first, c.Interval, "tsdb.scrape",
+		func() { c.Scrape(clk.Now()) }, stop)
+}
+
+// Scrape ingests one bus snapshot at time now, compacts the DB, and runs
+// the scrape hooks. It is safe to call concurrently with bus writers
+// (instrument updates and Emit); series identity makes re-scrapes at the
+// same timestamp updates rather than duplicates.
+func (c *Collector) Scrape(now float64) {
+	snap := c.bus.Snapshot()
+	n := 0
+	for _, m := range snap {
+		base, attrs := telemetry.ParseLabeled(m.Name)
+		labels := LabelsFromAttrs(attrs)
+		for _, bl := range c.Base {
+			labels = labels.With(bl.Key, bl.Value)
+		}
+		switch m.Kind {
+		case "histogram":
+			var cum int64
+			for _, bkt := range m.Buckets {
+				cum += bkt.Count
+				c.db.Append(base+"_bucket", labels.With("le", formatBound(bkt.Bound)),
+					now, float64(cum))
+				n++
+			}
+			c.db.Append(base+"_sum", labels, now, m.Sum)
+			c.db.Append(base+"_count", labels, now, float64(m.Count))
+			n += 2
+		default:
+			c.db.Append(base, labels, now, m.Value)
+			n++
+		}
+	}
+	c.db.Compact(now)
+	c.mu.Lock()
+	c.scrapes++
+	c.samples += int64(n)
+	hooks := make([]func(now float64), len(c.onScrape))
+	copy(hooks, c.onScrape)
+	c.mu.Unlock()
+	for _, fn := range hooks {
+		fn(now)
+	}
+}
+
+// Push appends one sample directly, bypassing the bus — for
+// simulation-level metrics that have no live instrument. Base labels
+// apply here too.
+func (c *Collector) Push(name string, labels Labels, t, v float64) {
+	for _, bl := range c.Base {
+		labels = labels.With(bl.Key, bl.Value)
+	}
+	c.db.Append(name, labels, t, v)
+}
+
+// Stats reports completed scrapes and total samples ingested by Scrape.
+func (c *Collector) Stats() (scrapes, samples int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.scrapes, c.samples
+}
+
+// formatBound renders a histogram bucket upper bound as a stable `le`
+// label value; the overflow bucket is "+Inf".
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// parseBound is the inverse of formatBound ("le" label -> float).
+func parseBound(s string) (float64, bool) {
+	if s == "+Inf" || s == "Inf" || s == "inf" {
+		return math.Inf(1), true
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

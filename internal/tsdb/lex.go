@@ -1,0 +1,223 @@
+package tsdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The PromQL-lite lexer. Tokens are simple enough that a hand-rolled
+// scanner beats a table: identifiers (metric names may contain dots),
+// numbers, double-quoted strings, and a fixed operator set.
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen   // (
+	tokRParen   // )
+	tokLBrace   // {
+	tokRBrace   // }
+	tokLBracket // [
+	tokRBracket // ]
+	tokComma    // ,
+	tokPlus     // +
+	tokMinus    // -
+	tokStar     // *
+	tokSlash    // /
+	tokEq       // =
+	tokEqEq     // ==
+	tokNe       // !=
+	tokReMatch  // =~
+	tokReNot    // !~
+	tokGt       // >
+	tokGe       // >=
+	tokLt       // <
+	tokLe       // <=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of expression"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, l.pos, l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.emit(tokIdent, start, l.pos)
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		default:
+			kind, width, err := l.lexOp()
+			if err != nil {
+				return nil, err
+			}
+			l.pos += width
+			l.emit(kind, start, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case ' ', '\t', '\n', '\r':
+			l.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, start, end int) {
+	l.toks = append(l.toks, token{kind: kind, text: l.src[start:end], pos: start})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+				l.pos++
+			}
+		default:
+			l.emit(tokNumber, start, l.pos)
+			return nil
+		}
+		l.pos++
+	}
+	l.emit(tokNumber, start, l.pos)
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			return nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return fmt.Errorf("tsdb: unterminated escape at offset %d", l.pos)
+			}
+			l.pos++
+			switch e := l.src[l.pos]; e {
+			case '"', '\\':
+				b.WriteByte(e)
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			default:
+				return fmt.Errorf("tsdb: unsupported escape \\%c at offset %d", e, l.pos)
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("tsdb: unterminated string starting at offset %d", start)
+}
+
+func (l *lexer) lexOp() (tokenKind, int, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "==":
+		return tokEqEq, 2, nil
+	case "!=":
+		return tokNe, 2, nil
+	case "=~":
+		return tokReMatch, 2, nil
+	case "!~":
+		return tokReNot, 2, nil
+	case ">=":
+		return tokGe, 2, nil
+	case "<=":
+		return tokLe, 2, nil
+	}
+	switch l.src[l.pos] {
+	case '(':
+		return tokLParen, 1, nil
+	case ')':
+		return tokRParen, 1, nil
+	case '{':
+		return tokLBrace, 1, nil
+	case '}':
+		return tokRBrace, 1, nil
+	case '[':
+		return tokLBracket, 1, nil
+	case ']':
+		return tokRBracket, 1, nil
+	case ',':
+		return tokComma, 1, nil
+	case '+':
+		return tokPlus, 1, nil
+	case '-':
+		return tokMinus, 1, nil
+	case '*':
+		return tokStar, 1, nil
+	case '/':
+		return tokSlash, 1, nil
+	case '=':
+		return tokEq, 1, nil
+	case '>':
+		return tokGt, 1, nil
+	case '<':
+		return tokLt, 1, nil
+	}
+	return tokEOF, 0, fmt.Errorf("tsdb: unexpected character %q at offset %d", l.src[l.pos], l.pos)
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isIdentPart(c byte) bool  { return isIdentStart(c) || isDigit(c) || c == '.' || c == ':' }
