@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos trace slo check bench repro csv examples clean
+.PHONY: build test vet lint race chaos trace slo sim check bench repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -57,17 +57,33 @@ slo:
 	cmp out/slo_run_a.txt out/slo_run_b.txt
 	@echo "slo: monitoring e2e byte-identical across runs"
 
+# Sharded-core determinism gate: the same seed must render byte-identical
+# reports under different GOMAXPROCS, shard sizes, and worker counts.
+# Race-enabled, since this is the one place shards genuinely run in
+# parallel goroutines.
+sim:
+	@mkdir -p out
+	$(GO) build -race -o out/coursesim_race ./cmd/coursesim
+	GOMAXPROCS=1 out/coursesim_race -sharded -students 20000 -shardsize 4096 -workers 4 > out/sim_run_a.txt
+	GOMAXPROCS=8 out/coursesim_race -sharded -students 20000 -shardsize 1777 -workers 8 > out/sim_run_b.txt
+	cmp out/sim_run_a.txt out/sim_run_b.txt
+	@echo "sim: sharded report byte-identical across GOMAXPROCS and shard sizes"
+
 # Default verification path: compile, static checks (go vet plus the
 # repo's own mlsyslint pass), unit tests, the race-enabled suite (the
 # concurrent batcher/telemetry tests need it), the seeded chaos suite,
-# the tracing suite, then the monitoring/SLO suite.
-check: build vet lint test race chaos trace slo
+# the tracing suite, the monitoring/SLO suite, then the sharded-core
+# determinism gate.
+check: build vet lint test race chaos trace slo sim
 
-# Benchmarks: the full `go test -bench` sweep, then the monitoring-stack
-# suite again via cmd/tsdbbench, which writes BENCH_tsdb.json.
+# Benchmarks: the full `go test -bench` sweep, the monitoring-stack
+# suite via cmd/tsdbbench (BENCH_tsdb.json), then the sharded-core
+# throughput suite via cmd/simbench (BENCH_sim.json: students/sec and
+# bytes/student at 100k and 1M students).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/tsdbbench -o BENCH_tsdb.json
+	$(GO) run ./cmd/simbench -o BENCH_sim.json
 
 # Regenerate every table and figure plus the capacity/support views.
 repro:

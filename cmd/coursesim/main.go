@@ -8,6 +8,11 @@
 //	          [-summary] [-quota] [-reservations]
 //
 // With no selection flags, everything is printed.
+//
+// -sharded switches to the streaming parallel core (internal/shardsim)
+// and prints its report only: memory stays bounded in the population
+// size, so -students can go to a million and beyond. The output is
+// byte-identical for every -shardsize, -workers, and GOMAXPROCS.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"repro/internal/course"
 	"repro/internal/platforms"
 	"repro/internal/report"
+	"repro/internal/shardsim"
 	"repro/internal/stats"
 	"repro/internal/support"
 )
@@ -44,8 +50,24 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write table1/fig1/fig2/fig3 CSVs to this directory")
 		platf    = flag.Bool("platforms", false, "print the §4 platform capability matrix")
 		seeds    = flag.Int("seeds", 0, "run N extra seeds and print headline mean/std (robustness check)")
+		sharded  = flag.Bool("sharded", false, "run the sharded parallel core and print its report")
+		shardsz  = flag.Int("shardsize", 0, "students per shard (sharded mode; 0 = default 4096)")
+		workers  = flag.Int("workers", 0, "worker goroutines (sharded mode; 0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *sharded {
+		rep, err := shardsim.Run(shardsim.Config{
+			Students:  *students,
+			Seed:      *seed,
+			ShardSize: *shardsz,
+			Workers:   *workers,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(report.Sharded(rep))
+		return
+	}
 	all := !(*table1 || *fig1 || *fig2 || *fig3 || *summary || *quota || *reserve || *supp || *platf)
 
 	s, err := core.Planner{Students: *students, Seed: *seed}.Run()

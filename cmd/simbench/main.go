@@ -1,0 +1,89 @@
+// Command simbench benchmarks the sharded simulation core
+// (internal/shardsim) outside `go test` and writes machine-readable
+// results to BENCH_sim.json: throughput in students per second and
+// allocation per student, at mid-size and million-student populations.
+// Perf regressions in the hot loop (RNG derivation, event scheduling,
+// aggregate folds) show up as a diffable artifact.
+//
+// Usage:
+//
+//	go run ./cmd/simbench [-o BENCH_sim.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/shardsim"
+)
+
+type result struct {
+	Name            string  `json:"name"`
+	Students        int     `json:"students"`
+	Iterations      int     `json:"iterations"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	StudentsPerSec  float64 `json:"students_per_sec"`
+	BytesPerStudent float64 `json:"bytes_per_student"`
+	ExceedFracAWS   float64 `json:"exceed_frac_aws"`
+	ExceedFracGCP   float64 `json:"exceed_frac_gcp"`
+}
+
+func benchRun(students int, last **shardsim.Report) func(*testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rep, err := shardsim.Run(shardsim.Config{Students: students, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			*last = rep
+		}
+	}
+}
+
+func main() {
+	out := flag.String("o", "BENCH_sim.json", "output path for the JSON results")
+	flag.Parse()
+
+	cases := []struct {
+		name     string
+		students int
+	}{
+		{"Sharded100k", 100_000},
+		{"Sharded1M", 1_000_000},
+	}
+	results := make([]result, 0, len(cases))
+	for _, c := range cases {
+		var rep *shardsim.Report
+		r := testing.Benchmark(benchRun(c.students, &rep))
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := result{
+			Name:            c.name,
+			Students:        c.students,
+			Iterations:      r.N,
+			NsPerOp:         ns,
+			StudentsPerSec:  float64(c.students) / (ns / 1e9),
+			BytesPerStudent: float64(r.AllocedBytesPerOp()) / float64(c.students),
+			ExceedFracAWS:   rep.AWS.ExceedFrac(),
+			ExceedFracGCP:   rep.GCP.ExceedFrac(),
+		}
+		results = append(results, res)
+		fmt.Printf("%-12s %9d students  %10.0f students/s  %8.0f B/student  exceed %.4f/%.4f\n",
+			res.Name, res.Students, res.StudentsPerSec, res.BytesPerStudent,
+			res.ExceedFracAWS, res.ExceedFracGCP)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

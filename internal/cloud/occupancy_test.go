@@ -1,0 +1,58 @@
+package cloud
+
+import "testing"
+
+func TestOccupancyPeakCounting(t *testing.T) {
+	o := NewOccupancy(100)
+	// Two overlapping m1.medium (2 cores each per flavor catalog) plus a
+	// disjoint one.
+	o.AddInstances(1.5, 4.5, M1Medium, 1)
+	o.AddInstances(3.0, 6.0, M1Medium, 1)
+	o.AddInstances(50, 60, M1Medium, 1)
+	o.AddFloatingIPs(2, 5, 1)
+	p := o.Peak()
+	if p.Instances != 2 {
+		t.Fatalf("peak instances = %d, want 2", p.Instances)
+	}
+	if p.Cores != 2*int64(M1Medium.VCPUs) {
+		t.Fatalf("peak cores = %d", p.Cores)
+	}
+	if p.FloatingIPs != 1 {
+		t.Fatalf("peak fips = %d", p.FloatingIPs)
+	}
+	if p.PeakHour != 3 {
+		t.Fatalf("peak hour = %d, want 3 (first overlap bucket)", p.PeakHour)
+	}
+}
+
+func TestOccupancyMergePartitionInvariant(t *testing.T) {
+	windows := [][2]float64{{0, 10}, {5, 15}, {9.5, 9.6}, {100, 168}, {167.2, 400}}
+	whole := NewOccupancy(200)
+	a, b := NewOccupancy(200), NewOccupancy(200)
+	for i, w := range windows {
+		whole.AddInstances(w[0], w[1], M1Small, 1)
+		whole.AddFloatingIPs(w[0], w[1], 1)
+		half := a
+		if i%2 == 1 {
+			half = b
+		}
+		half.AddInstances(w[0], w[1], M1Small, 1)
+		half.AddFloatingIPs(w[0], w[1], 1)
+	}
+	a.Merge(b)
+	pa, pw := a.Peak(), whole.Peak()
+	if pa != pw {
+		t.Fatalf("merged peak %+v != whole peak %+v", pa, pw)
+	}
+}
+
+func TestOccupancyClampsToHorizon(t *testing.T) {
+	o := NewOccupancy(10)
+	o.AddInstances(-5, 100, M1Small, 1) // clamped, must not panic
+	o.AddInstances(12, 20, M1Small, 1)  // entirely past horizon: ignored
+	o.AddInstances(3, 3, M1Small, 1)    // empty window: ignored
+	p := o.Peak()
+	if p.Instances != 1 {
+		t.Fatalf("peak = %d, want 1", p.Instances)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/cost"
 	"repro/internal/course"
+	"repro/internal/lease"
 	"repro/internal/studentsim"
 )
 
@@ -217,10 +218,7 @@ func PlanReservations(n int) []ReservationPlan {
 			continue
 		}
 		demand := row.TargetHours * float64(n)
-		nodes := int(math.Ceil(demand / 140))
-		if nodes < 1 {
-			nodes = 1
-		}
+		nodes := lease.PlanNodes(demand)
 		out = append(out, ReservationPlan{
 			NodeType:    row.Flavor.Name,
 			Week:        row.Week,

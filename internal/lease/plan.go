@@ -1,0 +1,21 @@
+package lease
+
+import "math"
+
+// UsableHoursPerNodeWeek is the planning heuristic for how many of a
+// reserved node's 168 weekly hours a slot pool can actually serve once
+// slot boundaries, holds, and booking gaps are accounted for. The course
+// staff sized their advance GPU reservations with this number; it was
+// previously duplicated in the lab simulator and the capacity planner.
+const UsableHoursPerNodeWeek = 140
+
+// PlanNodes returns the pool size needed to absorb demandHours of
+// slot-quantized bookings within one course week, never less than one
+// node.
+func PlanNodes(demandHours float64) int {
+	n := int(math.Ceil(demandHours / UsableHoursPerNodeWeek))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package lease
+
+import "testing"
+
+func TestPlanNodes(t *testing.T) {
+	cases := []struct {
+		demand float64
+		want   int
+	}{
+		{0, 1},
+		{1, 1},
+		{140, 1},
+		{140.1, 2},
+		{1400, 10},
+	}
+	for _, c := range cases {
+		if got := PlanNodes(c.demand); got != c.want {
+			t.Errorf("PlanNodes(%v) = %d, want %d", c.demand, got, c.want)
+		}
+	}
+}

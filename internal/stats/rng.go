@@ -10,7 +10,10 @@
 // ordering is not guaranteed between versions).
 package stats
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // RNG is a deterministic pseudo-random number generator. It is NOT safe
 // for concurrent use; give each goroutine its own RNG via Split.
@@ -62,11 +65,26 @@ func (r *RNG) Float64() float64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+// The implementation is Lemire's multiply-shift rejection sampler
+// (arXiv:1805.10941): a plain Uint64()%n over-weights small residues for
+// any n that does not divide 2^64, which visibly skews Shuffle/Perm for
+// non-power-of-two n. The rejection loop consumes extra draws with
+// probability < n/2^64, so for simulation-sized n it almost never
+// re-draws, and the stream stays deterministic for a given seed.
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
 	}
-	return int(r.Uint64() % uint64(n))
+	un := uint64(n)
+	hi, lo := bits.Mul64(r.Uint64(), un)
+	if lo < un {
+		thresh := -un % un // (2^64 - n) mod n: below it, hi is biased
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), un)
+		}
+	}
+	return int(hi)
 }
 
 // Uniform returns a uniform value in [lo, hi).

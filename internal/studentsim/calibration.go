@@ -62,6 +62,36 @@ const (
 	maxOverhangHours = 1000
 )
 
+// Calibration exposes the frozen behavioral constants above so
+// alternative runners (the sharded analytic core in internal/shardsim)
+// derive from the same numbers instead of re-tuning their own copies.
+type Calibration struct {
+	PromptDeleteFrac               float64
+	NegligenceSigma                float64
+	RowNoiseSigma                  float64
+	EffortLo, EffortMode, EffortHi float64
+	GPUSkipFrac                    float64
+	MaxOverhangHours               float64
+}
+
+// DefaultCalibration returns the paper-calibrated constants.
+func DefaultCalibration() Calibration {
+	return Calibration{
+		PromptDeleteFrac: promptDeleteFrac,
+		NegligenceSigma:  negligenceSigma,
+		RowNoiseSigma:    rowNoiseSigma,
+		EffortLo:         effortLo,
+		EffortMode:       effortMode,
+		EffortHi:         effortHi,
+		GPUSkipFrac:      gpuSkipFrac,
+		MaxOverhangHours: maxOverhangHours,
+	}
+}
+
+// EffectiveBehavior resolves a possibly-nil what-if override to the
+// calibrated defaults shared by every runner.
+func EffectiveBehavior(b *Behavior) Behavior { return b.effective() }
+
 // invNormalCDF is the Acklam approximation to the standard normal
 // quantile function, accurate to ~1e-9 — enough for stratified sampling.
 func invNormalCDF(p float64) float64 {

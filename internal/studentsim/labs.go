@@ -3,7 +3,6 @@ package studentsim
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sort"
 
 	"repro/internal/cloud"
@@ -113,6 +112,13 @@ type Result struct {
 	// RowInstanceHours and RowFIPHours aggregate per Table-1 row.
 	RowInstanceHours map[string]float64
 	RowFIPHours      map[string]float64
+	// ClippedOverhangHours records, per row, overhang mass (in instance
+	// hours) that could not be redistributed because every non-prompt
+	// student hit maxOverhangHours — it is the explicit remainder of the
+	// "row total survives" invariant under extreme what-if configs, so
+	// RowInstanceHours[row] + ClippedOverhangHours[row] conserves the
+	// configured mass instead of silently dropping it.
+	ClippedOverhangHours map[string]float64
 	// Cloud and Lease expose the substrate for meter cross-checks.
 	Cloud *cloud.Cloud
 	Lease *lease.Service
@@ -150,12 +156,13 @@ func SimulateLabs(cfg Config) (*Result, error) {
 	ls := lease.New(clk, cl)
 
 	res := &Result{
-		Config:           cfg,
-		RowInstanceHours: map[string]float64{},
-		RowFIPHours:      map[string]float64{},
-		Cloud:            cl,
-		Lease:            ls,
-		Clock:            clk,
+		Config:               cfg,
+		RowInstanceHours:     map[string]float64{},
+		RowFIPHours:          map[string]float64{},
+		ClippedOverhangHours: map[string]float64{},
+		Cloud:                cl,
+		Lease:                ls,
+		Clock:                clk,
 	}
 	res.Students = make([]StudentUsage, n)
 	for i := range res.Students {
@@ -182,7 +189,7 @@ func SimulateLabs(cfg Config) (*Result, error) {
 			continue
 		}
 		demand := row.TargetHours * float64(n)
-		nodes := int(math.Ceil(demand/140)) + 1
+		nodes := lease.PlanNodes(demand) + 1
 		if row.Flavor.Name == "raspberrypi5" && nodes < 7 {
 			nodes = 7 // the paper's seven Raspberry Pi 5 devices
 		}
@@ -306,6 +313,12 @@ func simulateVMRow(res *Result, cl *cloud.Cloud, clk *simclock.Clock,
 			break
 		}
 	}
+	if remaining > 1e-9 {
+		// Every non-prompt student is pinned at maxOverhangHours (or the
+		// iteration budget ran out): the cap makes the remaining mass
+		// physically unplaceable, so report it instead of dropping it.
+		res.ClippedOverhangHours[row.ID] += remaining * float64(row.VMsPerStudent)
+	}
 
 	ws := float64(row.Week-1) * course.HoursPerWeek
 	srng := rng.Split(4)
@@ -327,6 +340,24 @@ func simulateVMRow(res *Result, cl *cloud.Cloud, clk *simclock.Clock,
 		sid := student.ID
 		clk.At(start, "lab.start "+row.ID+" "+sid, func() {
 			tags := map[string]string{"lab": row.ID, "student": sid}
+			// The floating IP comes up only once there is an instance to
+			// associate it with. When every launch is quota-blocked into
+			// retryLaunch, the first successful retry allocates it; an
+			// unconditional allocation here used to bill FIP-hours until
+			// end for an IP associated with nothing.
+			fipUp := false
+			ensureFIP := func(instID string) {
+				if fipUp {
+					return
+				}
+				fipUp = true
+				if fip, err := cl.AllocateFloatingIP("course", tags); err == nil {
+					_ = cl.AssociateFloatingIP(fip.ID, instID)
+					clk.At(end, "lab.fip-release "+sid, func() {
+						_ = cl.ReleaseFloatingIP(fip.ID)
+					})
+				}
+			}
 			var ids []string
 			for v := 0; v < row.VMsPerStudent; v++ {
 				inst, err := cl.Launch(cloud.LaunchSpec{
@@ -339,19 +370,14 @@ func simulateVMRow(res *Result, cl *cloud.Cloud, clk *simclock.Clock,
 					// Quota pressure: the student tries again later; the
 					// bookkeeping above is unchanged (they still used
 					// their planned hours, just shifted).
-					retryLaunch(cl, clk, row, sid, v, end, 12)
+					retryLaunch(cl, clk, row, sid, v, end, 12, ensureFIP)
 					continue
 				}
 				ids = append(ids, inst.ID)
 				cl.DeleteAt(inst.ID, end)
 			}
-			if fip, err := cl.AllocateFloatingIP("course", tags); err == nil {
-				if len(ids) > 0 {
-					_ = cl.AssociateFloatingIP(fip.ID, ids[0])
-				}
-				clk.At(end, "lab.fip-release "+sid, func() {
-					_ = cl.ReleaseFloatingIP(fip.ID)
-				})
+			if len(ids) > 0 {
+				ensureFIP(ids[0])
 			}
 		})
 	}
@@ -359,8 +385,10 @@ func simulateVMRow(res *Result, cl *cloud.Cloud, clk *simclock.Clock,
 }
 
 // retryLaunch re-attempts a quota-blocked launch every 6 hours until the
-// deployment window has passed.
-func retryLaunch(cl *cloud.Cloud, clk *simclock.Clock, row course.Row, sid string, v int, end float64, retries int) {
+// deployment window has passed. onUp runs after a successful launch so
+// the caller can bring up resources (the floating IP) that must not be
+// metered while no instance exists.
+func retryLaunch(cl *cloud.Cloud, clk *simclock.Clock, row course.Row, sid string, v int, end float64, retries int, onUp func(instID string)) {
 	if retries <= 0 || clk.Now()+6 >= end {
 		return
 	}
@@ -372,10 +400,13 @@ func retryLaunch(cl *cloud.Cloud, clk *simclock.Clock, row course.Row, sid strin
 			Tags:    map[string]string{"lab": row.ID, "student": sid},
 		})
 		if err != nil {
-			retryLaunch(cl, clk, row, sid, v, end, retries-1)
+			retryLaunch(cl, clk, row, sid, v, end, retries-1, onUp)
 			return
 		}
 		cl.DeleteAt(inst.ID, end)
+		if onUp != nil {
+			onUp(inst.ID)
+		}
 	})
 }
 
@@ -388,10 +419,20 @@ func simulateReservedAssignment(res *Result, cl *cloud.Cloud, ls *lease.Service,
 	// Split students across node types by Share.
 	assignment := make([]int, n) // index into rows
 	if len(rows) > 1 {
+		// Round each share to a head count, clamping so the running total
+		// never exceeds n: at small n the rounded shares can sum past n
+		// (e.g. 0.34/0.33/0.33 at n=3 rounds to 2/1/…), which used to
+		// drive the last row's count negative and silently dump the
+		// shortfall onto row 0. The clamp redistributes by truncating the
+		// over-rounded middle rows; the last row absorbs the remainder,
+		// which is non-negative by construction.
 		counts := make([]int, len(rows))
 		remaining := n
 		for ri := range rows[:len(rows)-1] {
 			counts[ri] = int(rows[ri].Share*float64(n) + 0.5)
+			if counts[ri] > remaining {
+				counts[ri] = remaining
+			}
 			remaining -= counts[ri]
 		}
 		counts[len(rows)-1] = remaining
