@@ -14,8 +14,9 @@ vet:
 	$(GO) vet ./...
 
 # Repo-native static analysis: wallclock, mapalias, lockedcallback,
-# unchecked and spanleak (see README "Static analysis"). Exits non-zero
-# on findings.
+# unchecked, spanleak, and the interprocedural maprange / globalrand /
+# floatmerge checks (see README "Static analysis"). Exits 1 on findings,
+# 2 if the lint run itself failed.
 lint:
 	$(GO) run ./cmd/mlsyslint
 
@@ -77,13 +78,15 @@ sim:
 check: build vet lint test race chaos trace slo sim
 
 # Benchmarks: the full `go test -bench` sweep, the monitoring-stack
-# suite via cmd/tsdbbench (BENCH_tsdb.json), then the sharded-core
+# suite via cmd/tsdbbench (BENCH_tsdb.json), the sharded-core
 # throughput suite via cmd/simbench (BENCH_sim.json: students/sec and
-# bytes/student at 100k and 1M students).
+# bytes/student at 100k and 1M students), then full-repo lint wall time
+# via cmd/lintbench (BENCH_lint.json: sequential vs parallel loading).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/tsdbbench -o BENCH_tsdb.json
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
+	$(GO) run ./cmd/lintbench -o BENCH_lint.json
 
 # Regenerate every table and figure plus the capacity/support views.
 repro:

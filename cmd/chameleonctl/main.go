@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -211,8 +212,8 @@ func main() {
 			clk.RunUntil(clk.Now() + h)
 			fmt.Printf("virtual time is now %.1fh\n", clk.Now())
 		case "usage":
-			for flavor, hours := range cl.Meter().HoursByResource(clk.Now(), cloud.UsageInstance, nil) {
-				fmt.Printf("%-16s %.1f instance-hours\n", flavor, hours)
+			for _, line := range usageLines(cl.Meter().HoursByResource(clk.Now(), cloud.UsageInstance, nil)) {
+				fmt.Println(line)
 			}
 		case "reserve":
 			if len(fields) != 3 {
@@ -504,4 +505,20 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// usageLines renders per-flavor instance-hour totals in sorted flavor
+// order, so repeated `usage` commands print identical bytes for
+// identical meter state (map iteration order must not leak into output).
+func usageLines(hoursByFlavor map[string]float64) []string {
+	flavors := make([]string, 0, len(hoursByFlavor))
+	for f := range hoursByFlavor {
+		flavors = append(flavors, f)
+	}
+	sort.Strings(flavors)
+	lines := make([]string, 0, len(flavors))
+	for _, f := range flavors {
+		lines = append(lines, fmt.Sprintf("%-16s %.1f instance-hours", f, hoursByFlavor[f]))
+	}
+	return lines
 }

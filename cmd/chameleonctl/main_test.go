@@ -1,0 +1,40 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Regression test for the maprange lint finding in the `usage` command:
+// it used to print meter totals in map iteration order, so repeated
+// identical commands could print identically-valued lines in different
+// orders. usageLines must render sorted, stable bytes.
+func TestUsageLinesSortedAndStable(t *testing.T) {
+	m := map[string]float64{
+		"m1.large":        12.5,
+		"gpu_a100_pcie":   3.25,
+		"m1.small":        0.1,
+		"m1.xlarge":       100,
+		"compute_skylake": 7,
+	}
+	want := []string{
+		"compute_skylake  7.0 instance-hours",
+		"gpu_a100_pcie    3.2 instance-hours",
+		"m1.large         12.5 instance-hours",
+		"m1.small         0.1 instance-hours",
+		"m1.xlarge        100.0 instance-hours",
+	}
+	for i := 0; i < 50; i++ {
+		got := usageLines(m)
+		if !sort.StringsAreSorted(got) {
+			t.Fatalf("usage lines not sorted: %q", got)
+		}
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("usage lines = %q, want %q", got, want)
+		}
+	}
+	if len(usageLines(nil)) != 0 {
+		t.Fatal("empty meter should render no lines")
+	}
+}

@@ -1,0 +1,149 @@
+// Command lintbench times full-repository static analysis and writes
+// machine-readable results to BENCH_lint.json, so lint wall-time —
+// which gates every `make check` — shows up as a diffable artifact.
+// Each configuration runs the complete load + type-check + analyze
+// pipeline: sequential loading first, then the wave-parallel loader at
+// GOMAXPROCS workers, over identical analyzers. Findings counts must
+// agree between the two, which doubles as an end-to-end determinism
+// check on the parallel loader.
+//
+// Usage:
+//
+//	go run ./cmd/lintbench [-o BENCH_lint.json] [-root dir] [-runs n]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+)
+
+type result struct {
+	Name       string  `json:"name"`
+	Workers    int     `json:"workers"`
+	Runs       int     `json:"runs"`
+	Packages   int     `json:"packages"`
+	Findings   int     `json:"findings"`
+	Suppressed int     `json:"suppressed"`
+	BestMs     float64 `json:"best_ms"`
+	MeanMs     float64 `json:"mean_ms"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_lint.json", "output path for the JSON results")
+	root := flag.String("root", "", "module root (default: nearest go.mod upward)")
+	runs := flag.Int("runs", 3, "timed repetitions per configuration")
+	flag.Parse()
+
+	if *root == "" {
+		r, err := findRoot()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintbench: %v\n", err)
+			os.Exit(1)
+		}
+		*root = r
+	}
+
+	// Floor the parallel config at 2 workers so the concurrent loader
+	// path is exercised even on single-CPU machines.
+	parallelWorkers := runtime.GOMAXPROCS(0)
+	if parallelWorkers < 2 {
+		parallelWorkers = 2
+	}
+	configs := []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", parallelWorkers},
+	}
+	results := make([]result, 0, len(configs))
+	for _, cfg := range configs {
+		res, err := timeConfig(*root, cfg.workers, *runs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lintbench: %s: %v\n", cfg.name, err)
+			os.Exit(1)
+		}
+		res.Name = cfg.name
+		results = append(results, res)
+		fmt.Printf("%-12s workers=%-3d %3d pkgs  %3d findings  best %7.1f ms  mean %7.1f ms\n",
+			res.Name, res.Workers, res.Packages, res.Findings, res.BestMs, res.MeanMs)
+	}
+
+	if len(results) == 2 && (results[0].Findings != results[1].Findings ||
+		results[0].Packages != results[1].Packages) {
+		fmt.Fprintf(os.Stderr, "lintbench: sequential and parallel runs disagree: %+v vs %+v\n",
+			results[0], results[1])
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lintbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "lintbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// timeConfig runs the full analysis pipeline `runs` times at the given
+// worker count and reports best/mean wall time plus result counts.
+func timeConfig(root string, workers, runs int) (result, error) {
+	res := result{Workers: workers, Runs: runs}
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		loader, err := analysis.NewLoader(root)
+		if err != nil {
+			return res, err
+		}
+		var pkgs []*analysis.Package
+		if workers == 1 {
+			pkgs, err = loader.LoadAll()
+		} else {
+			pkgs, err = loader.LoadAllParallel(workers)
+		}
+		if err != nil {
+			return res, err
+		}
+		run := analysis.Run(pkgs, analysis.RepoAnalyzers(loader.Module))
+		elapsed := time.Since(start)
+
+		total += elapsed
+		ms := float64(elapsed.Nanoseconds()) / 1e6
+		if res.BestMs == 0 || ms < res.BestMs {
+			res.BestMs = ms
+		}
+		res.Packages = len(pkgs)
+		res.Findings = len(run.Diagnostics)
+		res.Suppressed = len(run.Suppressed)
+	}
+	res.MeanMs = float64(total.Nanoseconds()) / 1e6 / float64(runs)
+	return res, nil
+}
+
+func findRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found upward from working directory")
+		}
+		dir = parent
+	}
+}

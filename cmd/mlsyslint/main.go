@@ -4,13 +4,29 @@
 //
 // Usage:
 //
-//	mlsyslint [-root dir] [-json] [check ...]
+//	mlsyslint [flags] [check ...]
 //
 // With no positional arguments every check runs (wallclock, mapalias,
-// lockedcallback, unchecked, spanleak); naming checks runs that subset, e.g.
-// `mlsyslint unchecked`. -json emits machine-readable findings for CI
-// annotation. See internal/analysis for the check taxonomy and the
-// //lint:ignore suppression syntax.
+// lockedcallback, unchecked, spanleak, and the interprocedural
+// maprange, globalrand, floatmerge); naming checks runs that subset,
+// e.g. `mlsyslint maprange`. See internal/analysis for the check
+// taxonomy and the //lint:ignore suppression syntax.
+//
+// Flags:
+//
+//	-root dir        module root (default: nearest go.mod upward)
+//	-json            emit machine-readable findings
+//	-sarif file      write SARIF 2.1.0 to file ("-" for stdout)
+//	-fix             apply suggested fixes in place, re-running the
+//	                 analysis until it converges
+//	-baseline file   report only findings not recorded in the baseline
+//	-write-baseline  record current findings into the -baseline file
+//	                 (default lint.baseline.json) and exit
+//	-parallel n      loader workers (0 = GOMAXPROCS, 1 = sequential)
+//	-q               suppress the summary line
+//
+// Exit codes distinguish lint findings from broken builds so CI can
+// tell them apart: 0 clean, 1 findings, 2 load/parse/usage error.
 package main
 
 import (
@@ -25,6 +41,14 @@ import (
 	"repro/internal/analysis"
 )
 
+// Exit codes: CI treats 1 as "the code has findings" and 2 as "the
+// lint run itself failed" (unparseable source, bad flags, I/O).
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -33,35 +57,99 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("mlsyslint", flag.ContinueOnError)
 	root := fs.String("root", "", "module root (default: nearest go.mod upward from cwd)")
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	sarifOut := fs.String("sarif", "", "write SARIF 2.1.0 findings to this file (\"-\" for stdout)")
+	fix := fs.Bool("fix", false, "apply suggested fixes in place until the analysis converges")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline file")
+	writeBaseline := fs.Bool("write-baseline", false, "record current findings into the baseline file and exit")
+	parallel := fs.Int("parallel", 0, "loader workers: 0 = GOMAXPROCS, 1 = sequential")
 	quiet := fs.Bool("q", false, "suppress the summary line")
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitError
 	}
 	if *root == "" {
 		r, err := findModuleRoot()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mlsyslint:", err)
-			return 2
+			return exitError
 		}
 		*root = r
 	}
-	loader, err := analysis.NewLoader(*root)
+
+	res, analyzers, pkgCount, err := analyze(*root, fs.Args(), *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlsyslint:", err)
-		return 2
+		return exitError
 	}
-	all := repoAnalyzers(loader.Module)
-	analyzers, err := selectAnalyzers(all, fs.Args())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mlsyslint:", err)
-		return 2
+
+	if *fix {
+		// Fixes invalidate byte offsets and can expose new findings
+		// (e.g. an inner map range copied into a rewritten loop), so
+		// re-run until no fix applies. The bound is defensive: a fix
+		// that does not remove its own finding would otherwise loop.
+		for iter := 0; iter < 10; iter++ {
+			outcome, err := analysis.ApplyFixes(res.Diagnostics)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+				return exitError
+			}
+			if !*quiet && outcome.Applied > 0 {
+				fmt.Fprintf(os.Stderr, "mlsyslint: applied %d fix(es) across %d file(s)\n",
+					outcome.Applied, outcome.Files)
+			}
+			if outcome.Applied == 0 {
+				break
+			}
+			res, analyzers, pkgCount, err = analyze(*root, fs.Args(), *parallel)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+				return exitError
+			}
+		}
 	}
-	pkgs, err := loader.LoadAll()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mlsyslint:", err)
-		return 2
+
+	if *writeBaseline {
+		path := *baselinePath
+		if path == "" {
+			path = filepath.Join(*root, "lint.baseline.json")
+		}
+		if err := analysis.WriteBaseline(path, analysis.NewBaseline(res.Diagnostics, *root)); err != nil {
+			fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+			return exitError
+		}
+		if !*quiet {
+			fmt.Printf("mlsyslint: wrote %d finding(s) to %s\n", len(res.Diagnostics), path)
+		}
+		return exitClean
 	}
-	res := analysis.Run(pkgs, analyzers)
+
+	baselined := 0
+	if *baselinePath != "" {
+		b, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+			return exitError
+		}
+		fresh, matched := b.Filter(res.Diagnostics, *root)
+		res.Diagnostics = fresh
+		baselined = len(matched)
+	}
+
+	if *sarifOut != "" {
+		data, err := analysis.SARIF(res, *root, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+			return exitError
+		}
+		if *sarifOut == "-" {
+			if _, err := os.Stdout.Write(data); err != nil {
+				fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+				return exitError
+			}
+		} else if err := os.WriteFile(*sarifOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "mlsyslint:", err)
+			return exitError
+		}
+	}
 
 	if *jsonOut {
 		type finding struct {
@@ -70,25 +158,27 @@ func run(args []string) int {
 			Col     int    `json:"col"`
 			Check   string `json:"check"`
 			Message string `json:"message"`
+			Fixable bool   `json:"fixable,omitempty"`
 		}
 		out := struct {
 			Findings   []finding `json:"findings"`
 			Suppressed int       `json:"suppressed"`
+			Baselined  int       `json:"baselined"`
 			Packages   int       `json:"packages"`
-		}{Findings: []finding{}, Suppressed: len(res.Suppressed), Packages: len(pkgs)}
+		}{Findings: []finding{}, Suppressed: len(res.Suppressed), Baselined: baselined, Packages: pkgCount}
 		for _, d := range res.Diagnostics {
 			out.Findings = append(out.Findings, finding{
 				File: relPath(*root, d.Pos.Filename), Line: d.Pos.Line, Col: d.Pos.Column,
-				Check: d.Check, Message: d.Message,
+				Check: d.Check, Message: d.Message, Fixable: d.Fix != nil,
 			})
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {
 			fmt.Fprintln(os.Stderr, "mlsyslint:", err)
-			return 2
+			return exitError
 		}
-	} else {
+	} else if *sarifOut != "-" {
 		for _, d := range res.Diagnostics {
 			fmt.Printf("%s:%d:%d: [%s] %s\n",
 				relPath(*root, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message)
@@ -98,42 +188,37 @@ func run(args []string) int {
 			for i, a := range analyzers {
 				names[i] = a.Name
 			}
-			fmt.Printf("mlsyslint: %d finding(s), %d suppressed, %d package(s), checks: %s\n",
-				len(res.Diagnostics), len(res.Suppressed), len(pkgs), strings.Join(names, ","))
+			fmt.Printf("mlsyslint: %d finding(s), %d suppressed, %d baselined, %d package(s), checks: %s\n",
+				len(res.Diagnostics), len(res.Suppressed), baselined, pkgCount, strings.Join(names, ","))
 		}
 	}
 	if len(res.Diagnostics) > 0 {
-		return 1
+		return exitFindings
 	}
-	return 0
+	return exitClean
 }
 
-// repoAnalyzers instantiates every check with this repository's policy.
-func repoAnalyzers(module string) []*analysis.Analyzer {
-	return []*analysis.Analyzer{
-		// The clock boundary: only the simulation kernel, the clock
-		// abstraction itself, and process entry points may read real time.
-		analysis.Wallclock(
-			module+"/internal/simclock",
-			module+"/internal/clock",
-			module+"/cmd/...",
-			module+"/examples/...",
-		),
-		analysis.Mapalias(),
-		analysis.Lockedcallback(),
-		// Errors from formatted printing to stdout/stderr reports and from
-		// in-memory builders are unreportable or nil by contract; file and
-		// state mutations are not allowlisted and must be handled.
-		analysis.Unchecked(
-			"fmt.Print", "fmt.Printf", "fmt.Println",
-			"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
-			"(*strings.Builder).WriteString", "(*strings.Builder).WriteByte",
-			"(*strings.Builder).WriteRune", "(*strings.Builder).Write",
-			"(*bytes.Buffer).WriteString", "(*bytes.Buffer).WriteByte",
-			"(*bytes.Buffer).WriteRune", "(*bytes.Buffer).Write",
-		),
-		analysis.Spanleak(),
+// analyze performs one full load-and-run over the module.
+func analyze(root string, checkNames []string, parallel int) (analysis.Result, []*analysis.Analyzer, int, error) {
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return analysis.Result{}, nil, 0, err
 	}
+	all := analysis.RepoAnalyzers(loader.Module)
+	analyzers, err := selectAnalyzers(all, checkNames)
+	if err != nil {
+		return analysis.Result{}, nil, 0, err
+	}
+	var pkgs []*analysis.Package
+	if parallel == 1 {
+		pkgs, err = loader.LoadAll()
+	} else {
+		pkgs, err = loader.LoadAllParallel(parallel)
+	}
+	if err != nil {
+		return analysis.Result{}, nil, 0, err
+	}
+	return analysis.Run(pkgs, analyzers), analyzers, len(pkgs), nil
 }
 
 func selectAnalyzers(all []*analysis.Analyzer, names []string) ([]*analysis.Analyzer, error) {

@@ -40,6 +40,9 @@ type Diagnostic struct {
 	Check   string
 	Pos     token.Position
 	Message string
+	// Fix, when non-nil, is a mechanical rewrite that removes the
+	// finding; `mlsyslint -fix` applies it (fix.go).
+	Fix *SuggestedFix
 }
 
 func (d Diagnostic) String() string {
@@ -50,6 +53,10 @@ func (d Diagnostic) String() string {
 type Analyzer struct {
 	Name string
 	Doc  string
+	// Init, when non-nil, runs once per Run over the whole package load
+	// before any per-package pass. The interprocedural checks use it to
+	// build their shared call graph (taint.go).
+	Init func(pkgs []*Package)
 	Run  func(*Pass)
 }
 
@@ -70,6 +77,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding carrying a mechanical suggested fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Check:   p.Check.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
+	})
+}
+
 // Result is the outcome of a Run: actionable findings plus the findings
 // that //lint:ignore directives silenced (kept for accounting).
 type Result struct {
@@ -82,6 +99,11 @@ type Result struct {
 // problems (missing reason, matching no finding) are reported under the
 // "lint" pseudo-check.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	for _, a := range analyzers {
+		if a.Init != nil {
+			a.Init(pkgs)
+		}
+	}
 	var all []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline files let the gate stay strict for new code while legacy
+// findings burn down incrementally: `mlsyslint -write-baseline` records
+// today's findings, `mlsyslint -baseline lint.baseline.json` then
+// reports only findings not in the file. Entries are keyed by
+// (check, repo-relative file, message) with an occurrence count —
+// deliberately NOT by line number, so unrelated edits shifting a
+// finding up or down do not resurrect it, while a genuinely new
+// instance of the same finding in the same file overflows the count and
+// surfaces.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one acknowledged legacy finding class.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// NewBaseline builds a baseline from current findings, with files
+// recorded relative to root.
+func NewBaseline(diags []Diagnostic, root string) *Baseline {
+	counts := map[BaselineEntry]int{}
+	for _, d := range diags {
+		key := BaselineEntry{Check: d.Check, File: baselineRel(root, d.Pos.Filename), Message: d.Message}
+		counts[key]++
+	}
+	b := &Baseline{Version: 1}
+	for key, n := range counts {
+		key.Count = n
+		b.Findings = append(b.Findings, key)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Filter splits diags into (fresh, matched): matched findings are
+// covered by the baseline, fresh ones must gate. Each baseline entry
+// absorbs at most Count findings — an extra instance of a baselined
+// finding is fresh.
+func (b *Baseline) Filter(diags []Diagnostic, root string) (fresh []Diagnostic, matched []Diagnostic) {
+	remaining := map[BaselineEntry]int{}
+	for _, e := range b.Findings {
+		key := e
+		key.Count = 0
+		remaining[key] += e.Count
+	}
+	for _, d := range diags {
+		key := BaselineEntry{Check: d.Check, File: baselineRel(root, d.Pos.Filename), Message: d.Message}
+		if remaining[key] > 0 {
+			remaining[key]--
+			matched = append(matched, d)
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh, matched
+}
+
+// WriteBaseline writes b to path as deterministic, indented JSON.
+func WriteBaseline(path string, b *Baseline) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(b); err != nil {
+		return fmt.Errorf("analysis: encoding baseline: %w", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("analysis: writing baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: reading baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	if b.Version != 1 {
+		return nil, fmt.Errorf("analysis: baseline %s has unsupported version %d", path, b.Version)
+	}
+	return &b, nil
+}
+
+func baselineRel(root, path string) string {
+	if root == "" {
+		return filepath.ToSlash(path)
+	}
+	if rel, err := filepath.Rel(root, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(path)
+}

@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Call-graph construction for the interprocedural checks.
+//
+// The graph is CHA-style (class-hierarchy analysis): a static call edges
+// to its resolved *types.Func, and a call through an interface method
+// edges to the interface method node, which in turn edges to every
+// loaded concrete method whose receiver type implements that interface.
+// This over-approximates — an interface call "reaches" implementations
+// that can never be bound at runtime — which is the right trade for a
+// determinism linter: a missed edge hides a nondeterminism leak, while a
+// spurious edge costs at worst one written //lint:ignore justification
+// (DESIGN §12).
+//
+// Function literals are attributed to their innermost enclosing declared
+// function: a source inside a closure belongs to the function that built
+// the closure, and calls made by the closure are edges out of that
+// function. This keeps callback-heavy code (simclock.At, defer'd
+// cleanups) inside the analysis without modeling higher-order flow.
+
+// CGNode is one function in the call graph.
+type CGNode struct {
+	Func *types.Func
+	Decl *ast.FuncDecl // nil for interface methods and unloaded functions
+	Pkg  *Package      // package whose pass loaded the body (nil if none)
+
+	// Out and In are deterministic: sorted by callee/caller full name,
+	// then by call-site position.
+	Out []*CGEdge
+	In  []*CGEdge
+}
+
+// Name returns the node's stable, human-readable name:
+// "pkgpath.Func" or "pkgpath.(Recv).Method".
+func (n *CGNode) Name() string { return funcDisplayName(n.Func) }
+
+// CGEdge is one call relationship.
+type CGEdge struct {
+	Caller, Callee *CGNode
+	Site           token.Pos // NoPos for synthetic interface-dispatch edges
+}
+
+// CallGraph is the whole-load call graph.
+type CallGraph struct {
+	nodes map[*types.Func]*CGNode
+}
+
+// Node returns the graph node for fn, or nil.
+func (g *CallGraph) Node(fn *types.Func) *CGNode { return g.nodes[fn] }
+
+// Nodes returns every node, sorted by name for deterministic iteration.
+func (g *CallGraph) Nodes() []*CGNode {
+	out := make([]*CGNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// BuildCallGraph constructs the CHA call graph over the loaded packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{nodes: map[*types.Func]*CGNode{}}
+
+	// Pass 1: a node per declared function, remembering its body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &CGNode{Func: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+
+	// Pass 2: edges from call sites.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				caller, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				callerNode := g.nodes[caller]
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := CalleeFunc(pkg, call)
+					if callee == nil {
+						return true
+					}
+					g.addEdge(callerNode, g.ensure(callee), call.Pos())
+					return true
+				})
+			}
+		}
+	}
+
+	// Pass 3: CHA dispatch edges — every interface method fans out to
+	// each loaded concrete method implementing it.
+	impls := collectImplementations(pkgs)
+	for fn := range g.nodes {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			continue
+		}
+		if !types.IsInterface(sig.Recv().Type()) {
+			continue
+		}
+		iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+		if !ok {
+			continue
+		}
+		for _, impl := range impls {
+			if !types.Implements(impl.typ, iface) && !types.Implements(types.NewPointer(impl.typ), iface) {
+				continue
+			}
+			m := lookupMethod(impl.typ, fn.Name())
+			if m == nil || g.nodes[m] == nil {
+				continue
+			}
+			g.addEdge(g.nodes[fn], g.nodes[m], token.NoPos)
+		}
+	}
+
+	// Deterministic adjacency order.
+	for _, n := range g.nodes {
+		sortEdges(n.Out, func(e *CGEdge) *CGNode { return e.Callee })
+		sortEdges(n.In, func(e *CGEdge) *CGNode { return e.Caller })
+	}
+	return g
+}
+
+func (g *CallGraph) ensure(fn *types.Func) *CGNode {
+	n, ok := g.nodes[fn]
+	if !ok {
+		n = &CGNode{Func: fn}
+		g.nodes[fn] = n
+	}
+	return n
+}
+
+func (g *CallGraph) addEdge(caller, callee *CGNode, site token.Pos) {
+	if caller == nil || callee == nil || caller == callee {
+		return
+	}
+	for _, e := range caller.Out {
+		if e.Callee == callee {
+			return // one edge per pair is enough for reachability
+		}
+	}
+	e := &CGEdge{Caller: caller, Callee: callee, Site: site}
+	caller.Out = append(caller.Out, e)
+	callee.In = append(callee.In, e)
+}
+
+func sortEdges(es []*CGEdge, key func(*CGEdge) *CGNode) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := key(es[i]).Name(), key(es[j]).Name()
+		if a != b {
+			return a < b
+		}
+		return es[i].Site < es[j].Site
+	})
+}
+
+// CalleeFunc resolves the statically known callee of a call, or nil for
+// calls through function values, built-ins, and type conversions.
+func CalleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// implTarget is one named (non-interface) type considered for dispatch.
+type implTarget struct {
+	typ types.Type
+}
+
+// collectImplementations gathers every named concrete type declared in
+// the loaded packages, in deterministic order.
+func collectImplementations(pkgs []*Package) []implTarget {
+	var out []implTarget
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		names := scope.Names() // already sorted
+		for _, name := range names {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			out = append(out, implTarget{typ: t})
+		}
+	}
+	return out
+}
+
+// lookupMethod finds the concrete method named name on t or *t.
+func lookupMethod(t types.Type, name string) *types.Func {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if m := ms.At(i).Obj(); m.Name() == name {
+				if fn, ok := m.(*types.Func); ok {
+					return fn
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders "pkgpath.Func" or "pkgpath.(Recv).Method".
+func funcDisplayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if ptr, ok := recv.(*types.Pointer); ok {
+			recv = ptr.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			name = "(" + named.Obj().Name() + ")." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + name
+	}
+	return name
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Suggested-fix engine: checks attach byte-offset textual edits to
+// findings where the rewrite is mechanical, and `mlsyslint -fix`
+// applies them in place. Offsets are taken from the fileset at analysis
+// time, so fixes must be applied to the same bytes that were analyzed —
+// the driver re-runs the analysis after applying to pick up anything
+// the rewrite newly exposes (and to verify convergence: applying fixes
+// twice must produce no further edits).
+
+// TextEdit replaces file bytes [Start, End) with NewText.
+type TextEdit struct {
+	File       string // filename as recorded in the fileset
+	Start, End int    // byte offsets into the file
+	NewText    string
+}
+
+// SuggestedFix is one mechanical rewrite attached to a Diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// FixOutcome summarizes one ApplyFixes call.
+type FixOutcome struct {
+	Applied int // fixes applied
+	Skipped int // fixes dropped because their edits conflicted
+	Files   int // distinct files rewritten
+}
+
+// ApplyFixes applies every suggested fix carried by diags to the files
+// on disk. Fixes are applied per file in ascending diagnostic order; a
+// fix whose edits overlap an already-accepted edit is skipped rather
+// than corrupting the file. Returns what happened and the first I/O
+// error, if any.
+func ApplyFixes(diags []Diagnostic) (FixOutcome, error) {
+	var out FixOutcome
+	type fileEdits struct {
+		edits []TextEdit
+	}
+	byFile := map[string]*fileEdits{}
+	var order []string
+
+	accept := func(fix *SuggestedFix) bool {
+		// All-or-nothing per fix: every edit must be conflict-free.
+		// Byte-identical edits (two fixes in one file each inserting the
+		// same import) merge rather than conflict.
+		keep := make([]TextEdit, 0, len(fix.Edits))
+		for _, e := range fix.Edits {
+			fe := byFile[e.File]
+			if fe == nil {
+				keep = append(keep, e)
+				continue
+			}
+			duplicate := false
+			for _, prev := range fe.edits {
+				if prev == e {
+					duplicate = true
+					break
+				}
+				if e.Start < prev.End && prev.Start < e.End {
+					return false
+				}
+				// Two different zero-width inserts at one offset would
+				// land in arbitrary relative order: reject the later fix.
+				if e.Start == e.End && prev.Start == prev.End && e.Start == prev.Start {
+					return false
+				}
+			}
+			if !duplicate {
+				keep = append(keep, e)
+			}
+		}
+		for _, e := range keep {
+			fe := byFile[e.File]
+			if fe == nil {
+				fe = &fileEdits{}
+				byFile[e.File] = fe
+				order = append(order, e.File)
+			}
+			fe.edits = append(fe.edits, e)
+		}
+		return true
+	}
+
+	for _, d := range diags {
+		if d.Fix == nil || len(d.Fix.Edits) == 0 {
+			continue
+		}
+		if accept(d.Fix) {
+			out.Applied++
+		} else {
+			out.Skipped++
+		}
+	}
+
+	sort.Strings(order)
+	for _, file := range order {
+		edits := byFile[file].edits
+		sort.Slice(edits, func(i, j int) bool { return edits[i].Start > edits[j].Start })
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return out, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		for _, e := range edits {
+			if e.Start < 0 || e.End > len(src) || e.Start > e.End {
+				return out, fmt.Errorf("analysis: fix edit out of range in %s: [%d,%d) of %d bytes",
+					file, e.Start, e.End, len(src))
+			}
+			src = append(src[:e.Start], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return out, fmt.Errorf("analysis: applying fixes: %w", err)
+		}
+		out.Files++
+	}
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Floatmerge returns the interprocedural check that keeps the sharded
+// core's merge paths integer-only. Shard aggregates merge in arbitrary
+// partition shapes; the byte-identical-report invariant (DESIGN §11)
+// holds because merging is associative and commutative, which floating
+// point addition is not. Entry points are the merge/aggregate functions
+// of the configured packages (any declared function whose name contains
+// "merge" or "aggregate", case-insensitively); every function they can
+// reach is on the merge path, and any float32/float64 arithmetic there
+// is a finding. Float comparisons are allowed — min/max selection is
+// order-free — as are constant-folded expressions.
+//
+// pkgPatterns restricts where entry points are harvested ("path" or
+// "path/..."); empty means every loaded package.
+func Floatmerge(prog *Program, pkgPatterns ...string) *Analyzer {
+	a := &Analyzer{
+		Name: "floatmerge",
+		Doc: "forbids float arithmetic reachable from shard-merge/aggregate entry " +
+			"points; merged state must stay integer fixed-point so merge order can never " +
+			"change the bytes",
+	}
+	a.Init = prog.build
+	isEntryName := func(name string) bool {
+		low := strings.ToLower(name)
+		return strings.Contains(low, "merge") || strings.Contains(low, "aggregate")
+	}
+	var reach *Reach
+	mergeReach := func() *Reach {
+		if reach == nil {
+			reach = prog.Graph.Forward(prog.EntryPointsMatching(isEntryName, pkgPatterns...))
+		}
+		return reach
+	}
+	a.Run = func(pass *Pass) {
+		r := mergeReach()
+		for _, f := range pass.Pkg.Files {
+			if isTestFile(pass, f) {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := prog.Graph.Node(fn)
+				if node == nil || !r.Has(node) {
+					continue
+				}
+				path := PathString(r.Path(node))
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.BinaryExpr:
+						if isFloatArith(pass, n.Op, n) {
+							pass.Reportf(n.OpPos,
+								"float %s on the shard-merge path (%s); merge state must stay integer fixed-point — accumulate micro-units (stats.Micro)",
+								n.Op, path)
+						}
+					case *ast.AssignStmt:
+						switch n.Tok {
+						case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+							if len(n.Lhs) == 1 && isFloatExpr(pass, n.Lhs[0]) {
+								pass.Reportf(n.TokPos,
+									"float %s on the shard-merge path (%s); merge state must stay integer fixed-point — accumulate micro-units (stats.Micro)",
+									n.Tok, path)
+							}
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return a
+}
+
+// isFloatArith reports whether the binary expression is runtime float
+// arithmetic (+ - * /) rather than a comparison or a constant fold.
+func isFloatArith(pass *Pass, op token.Token, expr *ast.BinaryExpr) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Value != nil { // constant expressions fold at compile time
+		return false
+	}
+	return isFloatType(tv.Type)
+}
+
+func isFloatExpr(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	return ok && isFloatType(tv.Type)
+}
+
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

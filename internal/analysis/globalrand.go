@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPackages are the import paths whose use means nondeterminism: the
+// global math/rand source is seeded per-process, math/rand/v2 has no
+// seedable global at all, and crypto/rand is nondeterministic by design.
+// Simulation code draws from stats.RNG streams derived from the run
+// seed — nothing else.
+var randPackages = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// Globalrand returns the interprocedural check that forbids any
+// reachable use of stdlib randomness in simulation code. Every selector
+// resolving into math/rand, math/rand/v2, or crypto/rand is a source;
+// the diagnostic is enriched with a call path from the nearest exported
+// API entry point that can reach it, so the report names the simulation
+// surface a nondeterministic draw would leak out of. Test files are
+// exempt (tests may use throwaway randomness); deliberate uses take
+// //lint:ignore globalrand with a written reason.
+func Globalrand(prog *Program) *Analyzer {
+	a := &Analyzer{
+		Name: "globalrand",
+		Doc: "forbids math/rand, math/rand/v2, and crypto/rand in simulation code; " +
+			"all randomness must flow from seed-derived stats.RNG streams",
+	}
+	a.Init = prog.build
+	// One multi-source BFS from every exported entry point serves all
+	// packages: dist/parent then name the nearest entry for each source.
+	var reach *Reach
+	entryReach := func() *Reach {
+		if reach == nil {
+			reach = prog.Graph.Forward(prog.ExportedEntryPoints())
+		}
+		return reach
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			if isTestFile(pass, f) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := pass.Pkg.Info.Uses[ident].(*types.PkgName)
+				if !ok || !randPackages[pkgName.Imported().Path()] {
+					return true
+				}
+				detail := "not reachable from any exported entry point, but still sim code"
+				if node := prog.EnclosingFunc(pass.Pkg, sel.Pos()); node != nil {
+					if r := entryReach(); r.Has(node) {
+						detail = "reachable via " + PathString(r.Path(node))
+					}
+				}
+				pass.Reportf(sel.Pos(),
+					"%s.%s is nondeterministic across runs (%s); draw from a seed-derived stats.RNG stream instead",
+					pkgName.Imported().Path(), sel.Sel.Name, detail)
+				return true
+			})
+		}
+	}
+	return a
+}

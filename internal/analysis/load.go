@@ -9,8 +9,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package ready for analysis.
@@ -38,6 +41,13 @@ type Loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*Package // by import path
 	loading map[string]bool     // cycle detection
+
+	// Parallel-mode state (LoadAllParallel): pre-parsed files by dir,
+	// and locks around the package cache and the stdlib importer. The
+	// sequential path never touches the mutexes.
+	parsed map[string][]*ast.File
+	mu     sync.Mutex // guards pkgs
+	stdMu  sync.Mutex // guards std (the source importer is not concurrency-safe)
 }
 
 // NewLoader prepares a loader for the module rooted at root, reading the
@@ -76,6 +86,24 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 // LoadAll walks the module tree and loads every package containing Go
 // files, skipping testdata, vendor, hidden directories, and output dirs.
 func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := l.walkDirs()
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := l.load(l.dirImportPath(dir), dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// walkDirs returns every package directory under the module root in
+// sorted order.
+func (l *Loader) walkDirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.Root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -98,23 +126,143 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
-		rel, err := filepath.Rel(l.Root, dir)
+	return dirs, nil
+}
+
+func (l *Loader) dirImportPath(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// LoadAllParallel is LoadAll with concurrency: every package's files
+// parse on a worker pool up front (token.FileSet is concurrency-safe),
+// then packages type-check in dependency waves — a package is checked
+// once all of its module-internal imports are done, so each wave's
+// members are independent and safe to check concurrently (*types.Package
+// is immutable once complete). The stdlib source importer is not
+// concurrency-safe and stays behind a mutex; after the first wave warms
+// its cache the contention is negligible. Results are identical to
+// LoadAll — same packages in the same order with the same type
+// information — only the wall clock differs.
+func (l *Loader) LoadAllParallel(workers int) ([]*Package, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	dirs, err := l.walkDirs()
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1: parse everything concurrently.
+	l.parsed = make(map[string][]*ast.File, len(dirs))
+	parseErrs := make([]error, len(dirs))
+	filesByDir := make([][]*ast.File, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, dir := range dirs {
+		wg.Add(1)
+		go func(i int, dir string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			filesByDir[i], parseErrs[i] = l.parseDir(dir)
+		}(i, dir)
+	}
+	wg.Wait()
+	for i, err := range parseErrs {
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("analysis: parsing %s: %w", dirs[i], err)
 		}
-		importPath := l.Module
-		if rel != "." {
-			importPath = l.Module + "/" + filepath.ToSlash(rel)
+	}
+	for i, dir := range dirs {
+		l.parsed[dir] = filesByDir[i]
+	}
+
+	// Phase 2: wave-parallel type-checking in dependency order.
+	pathFor := make(map[string]int, len(dirs)) // importPath -> dir index
+	paths := make([]string, len(dirs))
+	for i, dir := range dirs {
+		paths[i] = l.dirImportPath(dir)
+		pathFor[paths[i]] = i
+	}
+	deps := make([][]int, len(dirs))
+	for i := range dirs {
+		seen := map[int]bool{}
+		for _, f := range filesByDir[i] {
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if j, ok := pathFor[p]; ok && j != i && !seen[j] {
+					seen[j] = true
+					deps[i] = append(deps[i], j)
+				}
+			}
 		}
-		pkg, err := l.load(importPath, dir)
-		if err != nil {
-			return nil, err
+	}
+	done := make([]bool, len(dirs))
+	remaining := len(dirs)
+	for remaining > 0 {
+		var wave []int
+		for i := range dirs {
+			if done[i] {
+				continue
+			}
+			ready := true
+			for _, j := range deps[i] {
+				if !done[j] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				wave = append(wave, i)
+			}
 		}
-		pkgs = append(pkgs, pkg)
+		if len(wave) == 0 {
+			return nil, fmt.Errorf("analysis: import cycle among remaining %d package(s)", remaining)
+		}
+		checkErrs := make([]error, len(wave))
+		var cwg sync.WaitGroup
+		for wi, i := range wave {
+			cwg.Add(1)
+			go func(wi, i int) {
+				defer cwg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				_, checkErrs[wi] = l.load(paths[i], dirs[i])
+			}(wi, i)
+		}
+		cwg.Wait()
+		for _, err := range checkErrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, i := range wave {
+			done[i] = true
+		}
+		remaining -= len(wave)
+	}
+
+	pkgs := make([]*Package, len(dirs))
+	for i := range dirs {
+		pkgs[i] = l.cached(paths[i])
+		if pkgs[i] == nil {
+			return nil, fmt.Errorf("analysis: %s vanished after type-checking", paths[i])
+		}
 	}
 	return pkgs, nil
+}
+
+func (l *Loader) cached(importPath string) *Package {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.pkgs[importPath]
 }
 
 func hasGoFiles(dir string) bool {
@@ -139,17 +287,9 @@ func LoadDir(dir, importPath string, includeTests bool) (*Package, error) {
 	return l.load(importPath, dir)
 }
 
-// load parses and type-checks one package directory.
-func (l *Loader) load(importPath, dir string) (*Package, error) {
-	if pkg, ok := l.pkgs[importPath]; ok {
-		return pkg, nil
-	}
-	if l.loading[importPath] {
-		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
-	}
-	l.loading[importPath] = true
-	defer delete(l.loading, importPath)
-
+// parseDir parses one package directory's source files (minus _test.go
+// unless IncludeTests), keeping only the dominant non-test package.
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -186,7 +326,37 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 			kept = append(kept, f)
 		}
 	}
-	files = kept
+	return kept, nil
+}
+
+// load type-checks one package directory, parsing it first unless
+// LoadAllParallel already did.
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	l.mu.Lock()
+	if pkg, ok := l.pkgs[importPath]; ok {
+		l.mu.Unlock()
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		delete(l.loading, importPath)
+		l.mu.Unlock()
+	}()
+
+	files, ok := l.parsed[dir]
+	if !ok {
+		var err error
+		files, err = l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
@@ -215,12 +385,15 @@ func (l *Loader) load(importPath, dir string) (*Package, error) {
 		Types:      tpkg,
 		Info:       info,
 	}
+	l.mu.Lock()
 	l.pkgs[importPath] = pkg
+	l.mu.Unlock()
 	return pkg, nil
 }
 
 // importPkg resolves one import: module-internal paths load recursively
-// from source, everything else goes through the stdlib source importer.
+// from source, everything else goes through the stdlib source importer
+// (serialized — it caches internally but is not concurrency-safe).
 func (l *Loader) importPkg(path string) (*types.Package, error) {
 	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
 		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")
@@ -230,6 +403,8 @@ func (l *Loader) importPkg(path string) (*types.Package, error) {
 		}
 		return pkg.Types, nil
 	}
+	l.stdMu.Lock()
+	defer l.stdMu.Unlock()
 	return l.std.ImportFrom(path, l.Root, 0)
 }
 

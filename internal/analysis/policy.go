@@ -1,0 +1,42 @@
+package analysis
+
+// RepoAnalyzers instantiates every check with this repository's policy —
+// the single source of truth shared by `mlsyslint` (the gate) and
+// `lintbench` (the benchmark), so the benchmark always times exactly
+// what the gate runs. module is the module path from go.mod.
+func RepoAnalyzers(module string) []*Analyzer {
+	// The interprocedural checks share one call graph per run.
+	prog := NewProgram()
+	return []*Analyzer{
+		// The clock boundary: only the simulation kernel, the clock
+		// abstraction itself, and process entry points may read real time.
+		Wallclock(
+			module+"/internal/simclock",
+			module+"/internal/clock",
+			module+"/cmd/...",
+			module+"/examples/...",
+		),
+		Mapalias(),
+		Lockedcallback(),
+		// Errors from formatted printing to stdout/stderr reports and from
+		// in-memory builders are unreportable or nil by contract; file and
+		// state mutations are not allowlisted and must be handled.
+		Unchecked(
+			"fmt.Print", "fmt.Printf", "fmt.Println",
+			"fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln",
+			"(*strings.Builder).WriteString", "(*strings.Builder).WriteByte",
+			"(*strings.Builder).WriteRune", "(*strings.Builder).Write",
+			"(*bytes.Buffer).WriteString", "(*bytes.Buffer).WriteByte",
+			"(*bytes.Buffer).WriteRune", "(*bytes.Buffer).Write",
+		),
+		Spanleak(),
+		Maprange(prog),
+		Globalrand(prog),
+		// Shard-merge entry points live where the mergeable aggregates do.
+		Floatmerge(prog,
+			module+"/internal/shardsim",
+			module+"/internal/stats",
+			module+"/internal/cloud",
+		),
+	}
+}

@@ -1,0 +1,19 @@
+// Package fixme seeds the -fix golden test: both loops are mechanically
+// rewritable, and the rewrite must reproduce fixed.golden byte-for-byte.
+package fixme
+
+import "fmt"
+
+// PrintRows renders string-keyed rows with the value bound.
+func PrintRows(rows map[string]int) {
+	for name, n := range rows {
+		fmt.Printf("%s=%d\n", name, n)
+	}
+}
+
+// PrintCodes renders int keys only.
+func PrintCodes(codes map[int]string) {
+	for code := range codes {
+		fmt.Println(code)
+	}
+}

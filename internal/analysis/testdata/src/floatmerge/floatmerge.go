@@ -1,0 +1,65 @@
+// Package floatmerge is a golden-test fixture for the floatmerge check:
+// entry points are functions whose name contains "merge" or "aggregate",
+// and any float arithmetic they can reach through the call graph is a
+// finding — merged state must stay integer fixed-point.
+package floatmerge
+
+// Part is one shard's aggregate.
+type Part struct {
+	SumMicro int64
+	Count    int64
+	MaxHours float64
+}
+
+// Report is the merged result.
+type Report struct {
+	SumMicro int64
+	Count    int64
+	MaxHours float64
+	mean     float64
+}
+
+// scale is float arithmetic two hops below the merge entry point.
+func scale(micro int64) float64 {
+	return float64(micro) / 1e6 // want `float / on the shard-merge path \(floatmerge\.MergeParts → floatmerge\.finalize → floatmerge\.scale\)`
+}
+
+// finalize derives a display value during the merge — still on the path.
+func finalize(r *Report) {
+	r.mean = scale(r.SumMicro) // float produced below, assigned here
+}
+
+// MergeParts is an entry point by name: everything it reaches is audited.
+func MergeParts(r *Report, parts []*Part) {
+	for _, p := range parts {
+		r.SumMicro += p.SumMicro // integer fixed-point: allowed
+		r.Count += p.Count
+		if p.MaxHours > r.MaxHours { // float comparison: order-free, allowed
+			r.MaxHours = p.MaxHours
+		}
+	}
+	finalize(r)
+}
+
+// aggregateHours is an entry point by name with the violation inline.
+func aggregateHours(parts []*Part) float64 {
+	var total float64
+	for _, p := range parts {
+		total += p.MaxHours // want `float \+= on the shard-merge path \(floatmerge\.aggregateHours\)`
+	}
+	return total
+}
+
+// Render is off the merge path entirely: float arithmetic here is fine.
+func Render(r *Report) float64 {
+	return r.mean * 100
+}
+
+// SuppressedMergeEpsilon is deliberate: the epsilon widening is applied
+// identically regardless of merge order.
+func SuppressedMergeEpsilon(r *Report) {
+	//lint:ignore floatmerge constant widening, identical for every merge order
+	r.MaxHours = r.MaxHours * 1.01
+}
+
+var _ = aggregateHours

@@ -1,0 +1,44 @@
+// Package globalrand is a golden-test fixture for the globalrand check:
+// stdlib randomness is forbidden in simulation code, and findings name
+// the exported entry point that can reach the draw.
+package globalrand
+
+import (
+	"crypto/rand"
+	mrand "math/rand"
+)
+
+// jitter is two hops from the exported API: the diagnostic should spell
+// out the Simulate → step → jitter path.
+func jitter() float64 {
+	return mrand.Float64() // want `math/rand\.Float64 is nondeterministic across runs \(reachable via globalrand\.Simulate → globalrand\.step → globalrand\.jitter\)`
+}
+
+func step() float64 { return 1 + jitter() }
+
+// Simulate is the exported surface a nondeterministic draw leaks out of.
+func Simulate(n int) float64 {
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += step()
+	}
+	return total
+}
+
+// orphan is unreachable from any exported entry point but still flagged:
+// dead sim code gets resurrected.
+func orphan() int {
+	return mrand.Intn(6) // want `math/rand\.Intn is nondeterministic across runs \(not reachable from any exported entry point`
+}
+
+// TokenBytes draws crypto randomness directly in an exported function.
+func TokenBytes(buf []byte) {
+	rand.Read(buf) // want `crypto/rand\.Read is nondeterministic across runs \(reachable via globalrand\.TokenBytes\)`
+}
+
+// SuppressedSalt is deliberate: the salt feeds a throwaway cache key,
+// never the report.
+func SuppressedSalt() int64 {
+	//lint:ignore globalrand cache-key salt only, never reaches report bytes
+	return mrand.Int63()
+}

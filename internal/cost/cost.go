@@ -17,6 +17,7 @@ package cost
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Provider selects a commercial cloud.
@@ -186,9 +187,16 @@ func (u ProjectUsage) TotalVMHours() float64 { return sum(u.VMHours) }
 func (u ProjectUsage) TotalGPUHours() float64 { return sum(u.GPUHours) }
 
 func sum(m map[string]float64) float64 {
+	// Sorted iteration: float addition is not associative, and these
+	// totals feed reports that must be byte-identical across runs.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var t float64
-	for _, v := range m {
-		t += v
+	for _, k := range keys {
+		t += m[k]
 	}
 	return t
 }
@@ -196,14 +204,26 @@ func sum(m map[string]float64) float64 {
 // ProjectCost prices the project phase on a provider.
 func ProjectCost(u ProjectUsage, p Provider) (float64, error) {
 	var total float64
-	for class, hours := range u.VMHours {
+	keys := make([]string, 0, len(u.VMHours))
+	for class := range u.VMHours {
+		keys = append(keys, class)
+	}
+	sort.Strings(keys)
+	for _, class := range keys {
+		hours := u.VMHours[class]
 		e, err := ProjectEquivalent(class)
 		if err != nil {
 			return 0, err
 		}
 		total += hours * e.Rate(p).PerHour
 	}
-	for class, hours := range u.GPUHours {
+	keys2 := make([]string, 0, len(u.GPUHours))
+	for class := range u.GPUHours {
+		keys2 = append(keys2, class)
+	}
+	sort.Strings(keys2)
+	for _, class := range keys2 {
+		hours := u.GPUHours[class]
 		e, err := ProjectEquivalent(class)
 		if err != nil {
 			return 0, err

@@ -1,0 +1,51 @@
+package cost
+
+import "testing"
+
+// Regression tests for the maprange lint findings: sum and ProjectCost
+// used to accumulate float64 in map iteration order, so totals could
+// differ in the last bits between runs. Go randomizes map iteration per
+// range statement, so repeated in-process calls catch a regression.
+
+func orderSensitiveHours() map[string]float64 {
+	// Magnitude-varied addends: reordering these changes the rounding
+	// of intermediate sums, so any map-order accumulation is caught.
+	return map[string]float64{
+		"m1.small":   1e-3,
+		"m1.medium":  7.77,
+		"m1.large":   123456.789,
+		"m1.xlarge":  0.1,
+		"gpu-small":  0.2,
+		"gpu-medium": 0.3,
+		"gpu-a100":   9876.54321,
+		"gpu-multi":  1e-7,
+		"baremetal":  42.000001,
+	}
+}
+
+func TestSumIsOrderIndependent(t *testing.T) {
+	u := ProjectUsage{GPUHours: orderSensitiveHours()}
+	want := u.TotalGPUHours()
+	for i := 0; i < 200; i++ {
+		if got := u.TotalGPUHours(); got != want {
+			t.Fatalf("TotalGPUHours changed between calls: %v then %v (map-order float accumulation)", want, got)
+		}
+	}
+}
+
+func TestProjectCostIsOrderIndependent(t *testing.T) {
+	u := ProjectUsage{VMHours: orderSensitiveHours(), GPUHours: orderSensitiveHours()}
+	want, err := ProjectCost(u, AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		got, err := ProjectCost(u, AWS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("ProjectCost changed between calls: %v then %v (map-order float accumulation)", want, got)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package lease
+
+import "testing"
+
+// Regression test for the maprange lint finding in Utilization: booked
+// hours were accumulated in byNode map order, and float addition is not
+// associative, so the ratio could wobble in the last bits between runs.
+func TestUtilizationIsOrderIndependent(t *testing.T) {
+	s, _, _ := newSvc()
+	// Rounding-sensitive windows spread across both pool nodes.
+	windows := [][2]float64{
+		{0, 0.1}, {0.2, 0.5}, {1, 1.0001}, {2, 9.77},
+		{10, 10.3}, {11, 11.000001}, {12, 19.2}, {20, 20.7},
+	}
+	for i, w := range windows {
+		if _, err := s.Book(Spec{Project: "class", User: "s001",
+			NodeType: "gpu_a100_pcie", Start: w[0] + float64(i)*30, End: w[1] + float64(i)*30}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := s.Utilization("gpu_a100_pcie", 0, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		got, err := s.Utilization("gpu_a100_pcie", 0, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("Utilization changed between calls: %v then %v (map-order float accumulation)", want, got)
+		}
+	}
+}

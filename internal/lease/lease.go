@@ -464,9 +464,16 @@ func (s *Service) Utilization(nodeType string, start, end float64) (float64, err
 	if end <= start || len(p.nodes) == 0 {
 		return 0, nil
 	}
+	// Sum in sorted node order: float addition is not associative, so
+	// map-order accumulation would make utilization run-dependent.
+	nodes := make([]string, 0, len(p.byNode))
+	for n := range p.byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
 	var booked float64
-	for _, list := range p.byNode {
-		for _, r := range list {
+	for _, n := range nodes {
+		for _, r := range p.byNode[n] {
 			lo, hi := r.Start, r.End
 			if lo < start {
 				lo = start

@@ -1,0 +1,39 @@
+package monitor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Regression test for the maprange lint finding in CohenKappa: expected
+// agreement accumulated label marginals in map order, and float addition
+// is not associative, so kappa could differ in the last bits between
+// runs with enough distinct labels.
+func TestCohenKappaIsOrderIndependent(t *testing.T) {
+	f := NewFeedbackCollector()
+	labels := []string{"pizza", "ramen", "taco", "curry", "pho", "bagel", "salad", "sushi", "dosa"}
+	for i := 0; i < 90; i++ {
+		id := f.Record(fmt.Sprintf("img-%03d", i), labels[i%len(labels)], 0.9)
+		if err := f.Annotate(id, "ann-a", labels[i%len(labels)]); err != nil {
+			t.Fatal(err)
+		}
+		// Disagree on every seventh item so kappa is strictly inside (0, 1).
+		bl := labels[i%len(labels)]
+		if i%7 == 0 {
+			bl = labels[(i+1)%len(labels)]
+		}
+		if err := f.Annotate(id, "ann-b", bl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, n := f.CohenKappa("ann-a", "ann-b")
+	if n == 0 {
+		t.Fatal("no overlapping annotations")
+	}
+	for i := 0; i < 200; i++ {
+		got, _ := f.CohenKappa("ann-a", "ann-b")
+		if got != want {
+			t.Fatalf("CohenKappa changed between calls: %v then %v (map-order float accumulation)", want, got)
+		}
+	}
+}

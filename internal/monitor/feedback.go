@@ -208,7 +208,13 @@ func (f *FeedbackCollector) CohenKappa(annotatorA, annotatorB string) (float64, 
 	}
 	po := float64(agree) / float64(n)
 	pe := 0.0
-	for label, ca := range countsA {
+	keys2 := make([]string, 0, len(countsA))
+	for label := range countsA {
+		keys2 = append(keys2, label)
+	}
+	sort.Strings(keys2)
+	for _, label := range keys2 {
+		ca := countsA[label]
 		pe += (ca / float64(n)) * (countsB[label] / float64(n))
 	}
 	if pe == 1 {

@@ -231,21 +231,30 @@ func Run(cfg Config) (*Report, error) {
 		rep.Rows[i].Row = calib.rows[i].row
 	}
 	for _, p := range parts {
-		for i := range rep.Rows {
-			rep.Rows[i].Instances.Merge(p.rows[i].Instances)
-			rep.Rows[i].FIPs.Merge(p.rows[i].FIPs)
-			rep.Rows[i].ClippedMicroHours += p.rows[i].ClippedMicroHours
-		}
-		rep.AWS.PerStudent.Merge(p.aws.PerStudent)
-		rep.AWS.Exceed += p.aws.Exceed
-		rep.AWS.Hist.Merge(p.aws.Hist)
-		rep.GCP.PerStudent.Merge(p.gcp.PerStudent)
-		rep.GCP.Exceed += p.gcp.Exceed
-		rep.GCP.Hist.Merge(p.gcp.Hist)
-		rep.Occupancy.Merge(p.occ)
-		rep.Events += p.events
+		rep.mergeShard(p)
 	}
 	return rep, nil
+}
+
+// mergeShard folds one shard's aggregates into the report. Everything
+// merged here is integer micro-units or counters (DESIGN §11): the
+// floatmerge lint check walks this function's call tree to prove no
+// float arithmetic can reach the merge, which is what keeps the final
+// report independent of shard geometry and worker interleaving.
+func (rep *Report) mergeShard(p *shardAgg) {
+	for i := range rep.Rows {
+		rep.Rows[i].Instances.Merge(p.rows[i].Instances)
+		rep.Rows[i].FIPs.Merge(p.rows[i].FIPs)
+		rep.Rows[i].ClippedMicroHours += p.rows[i].ClippedMicroHours
+	}
+	rep.AWS.PerStudent.Merge(p.aws.PerStudent)
+	rep.AWS.Exceed += p.aws.Exceed
+	rep.AWS.Hist.Merge(p.aws.Hist)
+	rep.GCP.PerStudent.Merge(p.gcp.PerStudent)
+	rep.GCP.Exceed += p.gcp.Exceed
+	rep.GCP.Hist.Merge(p.gcp.Hist)
+	rep.Occupancy.Merge(p.occ)
+	rep.Events += p.events
 }
 
 // runShard simulates students [shard*ShardSize, ...) on a private clock

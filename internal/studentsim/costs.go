@@ -3,13 +3,20 @@ package studentsim
 import (
 	"repro/internal/cost"
 	"repro/internal/stats"
+	"sort"
 )
 
 // StudentCost prices one student's lab usage on a provider (edge rows
 // excluded, matching the paper's Fig. 2 note).
 func StudentCost(s StudentUsage, p cost.Provider) (float64, error) {
 	var total float64
-	for rowID, hours := range s.InstHours {
+	keys := make([]string, 0, len(s.InstHours))
+	for rowID := range s.InstHours {
+		keys = append(keys, rowID)
+	}
+	sort.Strings(keys)
+	for _, rowID := range keys {
+		hours := s.InstHours[rowID]
 		c, err := cost.LabRowCost(cost.LabUsage{
 			RowID:         rowID,
 			InstanceHours: hours,

@@ -1,0 +1,33 @@
+package studentsim
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// Regression test for the maprange lint finding in StudentCost: per-row
+// costs were accumulated in InstHours map order, and float addition is
+// not associative, so a student's bill could differ in the last bits
+// between runs.
+func TestStudentCostIsOrderIndependent(t *testing.T) {
+	rows := []string{"1", "2", "3", "4-single", "5-multi-mi100", "6-system", "7", "8"}
+	hours := []float64{1e-3, 7.77, 123.456, 0.1, 0.2, 0.3, 98.76543, 1e-6}
+	u := StudentUsage{InstHours: map[string]float64{}}
+	for i, h := range hours {
+		u.InstHours[rows[i]] = h
+	}
+	want, err := StudentCost(u, cost.AWS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		got, err := StudentCost(u, cost.AWS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("StudentCost changed between calls: %v then %v (map-order float accumulation)", want, got)
+		}
+	}
+}

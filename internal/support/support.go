@@ -88,9 +88,16 @@ func simulate(cfg Config) *Result {
 	// Σ weights = 9.1 over units + logistics (weeks 1-10) + project
 	// (weeks 11-14) chosen so E[threads] ≈ 700 at 191 students.
 	scale := float64(cfg.Students) / float64(course.Enrollment)
+	// Sum in sorted unit order: float addition is not associative, and
+	// this total calibrates thread counts that land in the report.
+	wunits := make([]int, 0, len(unitQuestionWeight))
+	for u := range unitQuestionWeight {
+		wunits = append(wunits, u)
+	}
+	sort.Ints(wunits)
 	var weightSum float64
-	for _, w := range unitQuestionWeight {
-		weightSum += w
+	for _, u := range wunits {
+		weightSum += unitQuestionWeight[u]
 	}
 	const logisticsShare = 0.12 // of unit threads
 	const projectThreads = 160.0
