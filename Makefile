@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos trace slo sim check bench repro csv examples clean
+.PHONY: build test vet lint race chaos trace slo sim spot check bench repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -70,23 +70,41 @@ sim:
 	cmp out/sim_run_a.txt out/sim_run_b.txt
 	@echo "sim: sharded report byte-identical across GOMAXPROCS and shard sizes"
 
+# Spot suite: the preemptible market, seeded price walks, checkpoint
+# policy, and the migrate-on-notice training controller under the race
+# detector, then the seeded spot-training e2e: the survival scorecard,
+# bill reconciliation, and trace tree must be byte-identical across
+# same-seed runs.
+spot:
+	$(GO) test -race -count=1 -run 'Spot|Preempt|Checkpoint|Train|Backoff|HalfOpen|Young' \
+		./internal/cloud/ ./internal/cost/ ./internal/chaos/ ./internal/resilience/ \
+		./internal/orchestrator/ ./internal/train/ ./internal/report/ ./cmd/chameleonctl/
+	@mkdir -p out
+	$(GO) run ./examples/spot-training > out/spot_run_a.txt
+	$(GO) run ./examples/spot-training > out/spot_run_b.txt
+	cmp out/spot_run_a.txt out/spot_run_b.txt
+	@echo "spot: training survival e2e byte-identical across runs"
+
 # Default verification path: compile, static checks (go vet plus the
 # repo's own mlsyslint pass), unit tests, the race-enabled suite (the
 # concurrent batcher/telemetry tests need it), the seeded chaos suite,
-# the tracing suite, the monitoring/SLO suite, then the sharded-core
-# determinism gate.
-check: build vet lint test race chaos trace slo sim
+# the tracing suite, the monitoring/SLO suite, the sharded-core
+# determinism gate, then the spot-survival suite.
+check: build vet lint test race chaos trace slo sim spot
 
 # Benchmarks: the full `go test -bench` sweep, the monitoring-stack
 # suite via cmd/tsdbbench (BENCH_tsdb.json), the sharded-core
 # throughput suite via cmd/simbench (BENCH_sim.json: students/sec and
 # bytes/student at 100k and 1M students), then full-repo lint wall time
-# via cmd/lintbench (BENCH_lint.json: sequential vs parallel loading).
+# via cmd/lintbench (BENCH_lint.json: sequential vs parallel loading),
+# and the spot-market suite via cmd/spotbench (BENCH_spot.json: price
+# walk, bill integration, end-to-end survival run).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/tsdbbench -o BENCH_tsdb.json
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
 	$(GO) run ./cmd/lintbench -o BENCH_lint.json
+	$(GO) run ./cmd/spotbench -o BENCH_spot.json
 
 # Regenerate every table and figure plus the capacity/support views.
 repro:
@@ -102,6 +120,7 @@ examples:
 	$(GO) run ./examples/capacity-planning
 	$(GO) run ./examples/edge-serving
 	$(GO) run ./examples/data-pipeline
+	$(GO) run ./examples/spot-training
 
 clean:
 	rm -rf out/ test_output.txt bench_output.txt

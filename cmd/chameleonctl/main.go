@@ -35,6 +35,9 @@
 //	                                (default: the longest trace)
 //	trace cost                      per-trace cost attribution vs the meter
 //	trace export <file>             write Chrome trace-event JSON (Perfetto)
+//	spot prices [-json]             spot pool occupancy and current prices
+//	spot preemptions [-json]        preemption notices and the vacate ledger
+//	spot preempt <pool>             reclaim one slot from a spot pool
 //	help / quit
 //
 // API commands run under a trace: launch, reserve, sched and batch each
@@ -44,6 +47,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"log"
 	"os"
@@ -79,6 +83,14 @@ func main() {
 	// nodes (64 cores each), not just small VMs.
 	cl.CreateProject("sandbox", cloud.CourseQuota())
 	bs := blockstore.New(clk, cl)
+	// Spot market: preemptible bare-metal capacity priced by a seeded
+	// random walk (fixed seeds, so a scripted session replays the same
+	// prices) with the EC2-style two-minute reclamation notice.
+	market := cl.EnableSpot(2.0 / 60)
+	market.AddPool(cloud.GPUA100PCIe, 2, cost.GenerateSpotPrices(42, cost.SpotSpec{
+		OnDemandPerHour: 3.307, Volatility: 0.25, Horizon: 72}))
+	market.AddPool(cloud.ComputeLiqid, 2, cost.GenerateSpotPrices(43, cost.SpotSpec{
+		OnDemandPerHour: 1.212, Volatility: 0.25, Horizon: 72}))
 	// Fixed seed: trace/span IDs are deterministic across sessions, so a
 	// scripted run exports byte-identical Chrome JSON every time.
 	tracer := trace.New(42, clk.Now)
@@ -119,6 +131,7 @@ func main() {
 			fmt.Println("advance <hours> | usage | quota | metrics [-json] | quit |")
 			fmt.Println("events [n] [-component c] [-since t] [-json] |")
 			fmt.Println("query <expr> | alerts | slo | dashboard |")
+			fmt.Println("spot prices [-json] | spot preemptions [-json] | spot preempt <pool> |")
 			fmt.Println("trace list | trace show <query> | trace critical [query] |")
 			fmt.Println("trace cost | trace export <file>")
 		case "launch":
@@ -491,6 +504,63 @@ func main() {
 			default:
 				fmt.Printf("unknown trace subcommand %q\n", fields[1])
 			}
+		case "spot":
+			if len(fields) < 2 {
+				fmt.Println("usage: spot prices [-json] | preemptions [-json] | preempt <pool>")
+				break
+			}
+			asJSON := len(fields) == 3 && fields[2] == "-json"
+			if len(fields) > 3 || (len(fields) == 3 && !asJSON && fields[1] != "preempt") {
+				fmt.Println("usage: spot prices [-json] | preemptions [-json] | preempt <pool>")
+				break
+			}
+			switch fields[1] {
+			case "prices":
+				if asJSON {
+					out, err := json.MarshalIndent(market.Pools(), "", "  ")
+					if err != nil {
+						fmt.Println(err)
+						break
+					}
+					fmt.Println(string(out))
+					break
+				}
+				for _, line := range spotPriceLines(market.Pools()) {
+					fmt.Println(line)
+				}
+			case "preemptions":
+				preempts, reclaims, vacated := market.Stats()
+				if asJSON {
+					out, err := json.MarshalIndent(struct {
+						Preemptions int64              `json:"preemptions"`
+						Reclaims    int64              `json:"reclaims"`
+						Vacated     int64              `json:"vacated"`
+						Notices     []cloud.SpotNotice `json:"notices"`
+					}{preempts, reclaims, vacated, market.Notices()}, "", "  ")
+					if err != nil {
+						fmt.Println(err)
+						break
+					}
+					fmt.Println(string(out))
+					break
+				}
+				for _, line := range spotNoticeLines(market.Notices(), preempts, reclaims, vacated) {
+					fmt.Println(line)
+				}
+			case "preempt":
+				if len(fields) != 3 {
+					fmt.Println("usage: spot preempt <pool>")
+					break
+				}
+				if err := market.Preempt(fields[2]); err != nil {
+					fmt.Println(err)
+					break
+				}
+				free, _ := market.FreeCapacity(fields[2])
+				fmt.Printf("pool %s preempted; free capacity now %d\n", fields[2], free)
+			default:
+				fmt.Printf("unknown spot subcommand %q\n", fields[1])
+			}
 		case "quota":
 			p, err := cl.GetProject("sandbox")
 			if err != nil {
@@ -505,6 +575,37 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// spotPriceLines renders the spot pool table: pool, occupancy, the
+// current spot price and the on-demand reference. Pools() is already
+// sorted, so repeated commands print identical bytes.
+func spotPriceLines(pools []cloud.SpotPoolView) []string {
+	if len(pools) == 0 {
+		return []string{"no spot pools configured"}
+	}
+	lines := make([]string, 0, len(pools))
+	for _, p := range pools {
+		pct := 0.0
+		if p.OnDemandPerHour > 0 {
+			pct = 100 * p.SpotPerHour / p.OnDemandPerHour
+		}
+		lines = append(lines, fmt.Sprintf("%-16s %d/%d used  spot $%.2f/h  on-demand $%.2f/h  (%.0f%%)",
+			p.Pool, p.Active, p.Capacity, p.SpotPerHour, p.OnDemandPerHour, pct))
+	}
+	return lines
+}
+
+// spotNoticeLines renders the preemption ledger: the market's counters
+// and every notice issued so far, in issue order.
+func spotNoticeLines(notices []cloud.SpotNotice, preempts, reclaims, vacated int64) []string {
+	lines := []string{fmt.Sprintf("preemptions %d  vacated in time %d  reclaimed running %d",
+		preempts, vacated, reclaims)}
+	for _, n := range notices {
+		lines = append(lines, fmt.Sprintf("  %s pool %s  noticed t=%.4f  reclaim t=%.4f",
+			n.InstanceID, n.Pool, n.NoticedAt, n.ReclaimAt))
+	}
+	return lines
 }
 
 // usageLines renders per-flavor instance-hour totals in sorted flavor

@@ -4,6 +4,8 @@ import (
 	"sort"
 	"strings"
 	"testing"
+
+	"repro/internal/cloud"
 )
 
 // Regression test for the maprange lint finding in the `usage` command:
@@ -36,5 +38,46 @@ func TestUsageLinesSortedAndStable(t *testing.T) {
 	}
 	if len(usageLines(nil)) != 0 {
 		t.Fatal("empty meter should render no lines")
+	}
+}
+
+// The `spot prices` table must render stable bytes for stable market
+// state and degrade gracefully when no pools exist.
+func TestSpotPriceLines(t *testing.T) {
+	pools := []cloud.SpotPoolView{
+		{Pool: "compute_liqid", Capacity: 2, Active: 1, SpotPerHour: 0.40, OnDemandPerHour: 1.212},
+		{Pool: "gpu_a100_pcie", Capacity: 2, Active: 0, SpotPerHour: 1.19, OnDemandPerHour: 3.307},
+	}
+	want := []string{
+		"compute_liqid    1/2 used  spot $0.40/h  on-demand $1.21/h  (33%)",
+		"gpu_a100_pcie    0/2 used  spot $1.19/h  on-demand $3.31/h  (36%)",
+	}
+	for i := 0; i < 10; i++ {
+		got := spotPriceLines(pools)
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("price lines = %q, want %q", got, want)
+		}
+	}
+	if got := spotPriceLines(nil); len(got) != 1 || got[0] != "no spot pools configured" {
+		t.Fatalf("empty market lines = %q", got)
+	}
+}
+
+// The preemption ledger leads with the counters and lists notices in
+// issue order.
+func TestSpotNoticeLines(t *testing.T) {
+	notices := []cloud.SpotNotice{
+		{Pool: "compute_liqid", InstanceID: "i-000003", NoticedAt: 0.75, ReclaimAt: 0.75 + 2.0/60},
+	}
+	got := spotNoticeLines(notices, 1, 0, 1)
+	want := []string{
+		"preemptions 1  vacated in time 1  reclaimed running 0",
+		"  i-000003 pool compute_liqid  noticed t=0.7500  reclaim t=0.7833",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("notice lines = %q, want %q", got, want)
+	}
+	if got := spotNoticeLines(nil, 0, 0, 0); len(got) != 1 {
+		t.Fatalf("empty ledger = %q, want counters line only", got)
 	}
 }

@@ -1,0 +1,67 @@
+// Command spotbench runs the spot-market benchmark suite (price-walk
+// generation, bill integration, and the end-to-end checkpoint-and-
+// migrate training run) outside `go test` and writes machine-readable
+// results to BENCH_spot.json, so perf regressions in the preemption
+// survival path show up as a diffable artifact.
+//
+// Usage:
+//
+//	go run ./cmd/spotbench [-o BENCH_spot.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/orchestrator/bench"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_spot.json", "output path for the JSON results")
+	flag.Parse()
+
+	cases := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"SpotPriceGen", bench.SpotPriceGen},
+		{"SpotBillCents", bench.SpotBillCents},
+		{"SpotTrainRun", bench.SpotTrainRun},
+	}
+	results := make([]result, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		res := result{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		results = append(results, res)
+		fmt.Printf("%-18s %12d iter  %14.1f ns/op  %8d B/op  %6d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "spotbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -22,6 +22,15 @@ type InstanceFailer interface {
 	FailInstance(id string) error
 }
 
+// Preempter handles spot-preemption faults; *cloud.SpotMarket satisfies
+// it. Preempt shrinks a pool's capacity by one (the market notices and
+// then reclaims its newest spot instance); Release returns the slot when
+// the fault's Duration elapses.
+type Preempter interface {
+	Preempt(pool string) error
+	Release(pool string) error
+}
+
 // LinkFault is the current degradation on one network link. The zero
 // value means healthy.
 type LinkFault struct {
@@ -51,6 +60,7 @@ type Engine struct {
 	mu    sync.Mutex
 	hosts HostFailer
 	insts InstanceFailer
+	spot  Preempter
 	links map[string]LinkFault
 	vols  map[string]VolumeFault
 	ranks map[int]bool
@@ -82,6 +92,13 @@ func (e *Engine) SetInstanceFailer(i InstanceFailer) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.insts = i
+}
+
+// SetPreempter registers the target for spot-preemption faults.
+func (e *Engine) SetPreempter(p Preempter) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.spot = p
 }
 
 // Arm schedules every fault in the plan (and, for faults with a positive
@@ -138,6 +155,12 @@ func (e *Engine) inject(f Fault) {
 			e.ranks[r] = true
 		} else {
 			err = perr
+		}
+	case KindPreempt:
+		if p := e.spot; p != nil {
+			e.mu.Unlock()
+			err = p.Preempt(f.Target)
+			e.mu.Lock()
 		}
 	}
 	if err != nil {
@@ -200,6 +223,12 @@ func (e *Engine) recover(f Fault) {
 	case KindRankFail:
 		if r, perr := strconv.Atoi(f.Target); perr == nil {
 			delete(e.ranks, r)
+		}
+	case KindPreempt:
+		if p := e.spot; p != nil {
+			e.mu.Unlock()
+			err = p.Release(f.Target)
+			e.mu.Lock()
 		}
 	}
 	if err == nil {

@@ -47,6 +47,11 @@ const (
 	// KindRankFail kills one rank of a collective (straggler taken to
 	// its limit); the ring must reform around it.
 	KindRankFail
+	// KindPreempt shrinks a spot capacity pool by one slot: the market
+	// issues an advance notice and then reclaims its newest spot
+	// instance through the metering-correct failure path. Duration > 0
+	// returns the slot when the fault recovers.
+	KindPreempt
 )
 
 func (k Kind) String() string {
@@ -63,6 +68,8 @@ func (k Kind) String() string {
 		return "volume-fail"
 	case KindRankFail:
 		return "rank-fail"
+	case KindPreempt:
+		return "preempt"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -127,12 +134,14 @@ type GenSpec struct {
 	Links     []string // link-degrade victims
 	Volumes   []string // volume slow/fail victims
 	Ranks     int      // rank-fail victims are 0..Ranks-1
+	SpotPools []string // preempt victims (spot pool names)
 
 	HostCrashMTBF     float64
 	InstanceCrashMTBF float64
 	LinkDegradeMTBF   float64
 	VolumeFaultMTBF   float64
 	RankFailMTBF      float64
+	PreemptMTBF       float64
 
 	// MeanRepairHours is the mean injected-fault duration (exponential).
 	// Zero means faults are permanent.
@@ -186,6 +195,9 @@ func Generate(seed uint64, spec GenSpec) Plan {
 			return KindRankFail, "", 0, 0
 		}
 		return KindRankFail, fmt.Sprintf("%d", r.Intn(spec.Ranks)), 0, 0
+	})
+	gen(6, spec.PreemptMTBF, func(r *stats.RNG) (Kind, string, float64, float64) {
+		return KindPreempt, pickString(r, spec.SpotPools), 0, 0
 	})
 	p.Faults = p.sorted()
 	return p

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/simclock"
+)
+
+type fakePreempter struct {
+	preempts []string
+	releases []string
+	fail     bool
+}
+
+func (f *fakePreempter) Preempt(pool string) error {
+	if f.fail {
+		return errors.New("no such pool")
+	}
+	f.preempts = append(f.preempts, pool)
+	return nil
+}
+
+func (f *fakePreempter) Release(pool string) error {
+	f.releases = append(f.releases, pool)
+	return nil
+}
+
+func TestGeneratePreemptStream(t *testing.T) {
+	spec := GenSpec{
+		Horizon:         48,
+		SpotPools:       []string{"gpu_a100_pcie", "compute_liqid"},
+		PreemptMTBF:     4,
+		MeanRepairHours: 6,
+	}
+	a := Generate(11, spec)
+	b := Generate(11, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must generate the same preempt plan")
+	}
+	if len(a.Faults) == 0 {
+		t.Fatal("MTBF 4 over 48h should generate preempt faults")
+	}
+	for _, f := range a.Faults {
+		if f.Kind != KindPreempt {
+			t.Fatalf("unexpected kind %v in preempt-only spec", f.Kind)
+		}
+		if f.Target != "gpu_a100_pcie" && f.Target != "compute_liqid" {
+			t.Fatalf("unexpected target %q", f.Target)
+		}
+		if f.At < 0 || f.At >= spec.Horizon {
+			t.Fatalf("fault at %v outside horizon", f.At)
+		}
+		if f.Duration <= 0 {
+			t.Fatalf("MeanRepairHours set, fault duration = %v", f.Duration)
+		}
+	}
+
+	// The preempt stream draws from its own RNG split: adding a
+	// host-crash category must not perturb it.
+	withHosts := spec
+	withHosts.Hosts = []string{"h1", "h2"}
+	withHosts.HostCrashMTBF = 3
+	c := Generate(11, withHosts)
+	var onlyPreempts []Fault
+	for _, f := range c.Faults {
+		if f.Kind == KindPreempt {
+			onlyPreempts = append(onlyPreempts, f)
+		}
+	}
+	if !reflect.DeepEqual(onlyPreempts, a.Faults) {
+		t.Fatal("preempt stream changed when an unrelated category was added")
+	}
+}
+
+func TestPreemptKindString(t *testing.T) {
+	if got := KindPreempt.String(); got != "preempt" {
+		t.Fatalf("KindPreempt.String() = %q", got)
+	}
+}
+
+func TestEngineDrivesPreempterInjectAndRecover(t *testing.T) {
+	clk := simclock.New()
+	e := New(clk, nil)
+	fp := &fakePreempter{}
+	e.SetPreempter(fp)
+	plan := Plan{Faults: []Fault{
+		{At: 1, Kind: KindPreempt, Target: "pool-a", Duration: 2},
+		{At: 1.5, Kind: KindPreempt, Target: "pool-b"},
+	}}
+	events := e.Arm(plan)
+	if events != 3 { // two injections + one recovery
+		t.Fatalf("armed %d events, want 3", events)
+	}
+	clk.Run()
+	if !reflect.DeepEqual(fp.preempts, []string{"pool-a", "pool-b"}) {
+		t.Fatalf("preempts = %v", fp.preempts)
+	}
+	if !reflect.DeepEqual(fp.releases, []string{"pool-a"}) {
+		t.Fatalf("releases = %v", fp.releases)
+	}
+	injected, recovered, injectErrors := e.Stats()
+	if injected != 2 || recovered != 1 || injectErrors != 0 {
+		t.Fatalf("stats = %d/%d/%d, want 2/1/0", injected, recovered, injectErrors)
+	}
+}
+
+func TestEnginePreemptErrorsTolerated(t *testing.T) {
+	clk := simclock.New()
+	e := New(clk, nil)
+	e.SetPreempter(&fakePreempter{fail: true})
+	e.Arm(Plan{Faults: []Fault{{At: 1, Kind: KindPreempt, Target: "nope"}}})
+	clk.Run()
+	injected, _, injectErrors := e.Stats()
+	if injected != 0 || injectErrors != 1 {
+		t.Fatalf("injected/errors = %d/%d, want 0/1", injected, injectErrors)
+	}
+}
+
+// A preempt-armed engine with no preempt faults in the plan must create
+// no extra clock events — part of the armed-but-empty ≡ off guarantee.
+func TestPreemptArmedEmptyZeroEvents(t *testing.T) {
+	clk := simclock.New()
+	e := New(clk, nil)
+	e.SetPreempter(&fakePreempter{})
+	if n := e.Arm(Plan{}); n != 0 {
+		t.Fatalf("empty plan armed %d events", n)
+	}
+	if clk.Pending() != 0 {
+		t.Fatalf("pending events = %d, want 0", clk.Pending())
+	}
+}

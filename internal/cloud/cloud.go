@@ -52,6 +52,8 @@ type Cloud struct {
 	instRecs   map[string]*UsageRecord // instance ID -> open meter record
 	instSpans  map[string]*trace.Span  // instance ID -> lifetime span (traced launches only)
 
+	spot *SpotMarket // nil until EnableSpot
+
 	tel *telemetry.Bus // nil disables instrumentation
 
 	nextID  int
@@ -166,6 +168,10 @@ type LaunchSpec struct {
 	// Network to attach; empty uses no fixed network (bare metal nodes
 	// on Chameleon sit on a shared provider network).
 	NetworkID string
+	// Spot requests preemptible capacity: the launch needs a free slot
+	// in the flavor's spot pool (EnableSpot + AddPool), is billed at the
+	// pool's spot price, and may be reclaimed after an advance notice.
+	Spot bool
 	// Span, when non-nil, makes the launch traced: the API call becomes a
 	// "cloud.launch" child span, the instance's lifetime becomes a
 	// "cloud.instance" span finished at delete/failure, and the meter
@@ -199,6 +205,31 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 		span.Annotate(telemetry.String("error", err.Error()))
 		return nil, err
 	}
+	var spotPool *SpotPool
+	if spec.Spot {
+		if c.spot == nil {
+			span.Annotate(telemetry.String("error", ErrSpotDisabled.Error()))
+			return nil, ErrSpotDisabled
+		}
+		p, ok := c.spot.pools[spec.Flavor.Name]
+		if !ok {
+			err := fmt.Errorf("%w: %q", ErrNoSpotPool, spec.Flavor.Name)
+			span.Annotate(telemetry.String("error", err.Error()))
+			return nil, err
+		}
+		if p.active >= p.Capacity {
+			c.tel.Counter("cloud.spot_capacity_rejections").Inc()
+			c.tel.Emit("cloud.spot.reject",
+				telemetry.String("pool", spec.Flavor.Name),
+				telemetry.String("project", spec.Project),
+				telemetry.Float("t", c.clock.Now()))
+			err := fmt.Errorf("%w: pool %q (%d/%d in use)",
+				ErrNoSpotCapacity, spec.Flavor.Name, p.active, p.Capacity)
+			span.Annotate(telemetry.String("error", err.Error()))
+			return nil, err
+		}
+		spotPool = p
+	}
 	host := c.placer.Place(c.hosts, spec.Flavor)
 	if host == nil {
 		c.tel.Counter("cloud.capacity_rejections").Inc()
@@ -215,6 +246,7 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 		Project:    spec.Project,
 		Flavor:     spec.Flavor,
 		State:      StateActive,
+		Spot:       spec.Spot,
 		Tags:       copyTags(spec.Tags),
 		LaunchedAt: c.clock.Now(),
 		DeletedAt:  -1,
@@ -243,6 +275,14 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 	// copies tags defensively, so report.CostByTrace sees the stamp.
 	if tid := spec.Span.TraceID(); tid != 0 {
 		inst.Tags[trace.Tag] = tid.String()
+	}
+	// Spot launches are tagged so the bill can price their records off
+	// the pool's price series instead of the on-demand rate.
+	if spec.Spot {
+		inst.Tags["pricing"] = "spot"
+		inst.Tags["pool"] = spec.Flavor.Name
+		spotPool.active++
+		c.spot.poolOf[inst.ID] = spec.Flavor.Name
 	}
 	mspan := span.StartChild("cloud.meter")
 	c.instRecs[inst.ID] = c.meter.Open(UsageInstance, spec.Project, spec.Flavor.Name, inst.Tags, 1, c.clock.Now())
@@ -322,6 +362,9 @@ func (c *Cloud) deleteLocked(instanceID string) error {
 	p.Usage.RAMGB -= inst.Flavor.RAMGB
 	inst.State = StateDeleted
 	inst.DeletedAt = c.clock.Now()
+	if c.spot != nil {
+		c.spot.releaseInstanceLocked(inst)
+	}
 	c.meter.Close(c.instRecs[inst.ID], c.clock.Now())
 	delete(c.instRecs, inst.ID)
 	if sp := c.instSpans[inst.ID]; sp != nil {

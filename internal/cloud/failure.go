@@ -121,6 +121,9 @@ func (c *Cloud) failInstanceLocked(inst *Instance, reason string) {
 	inst.State = StateError
 	inst.FailedAt = now
 	inst.FailReason = reason
+	if c.spot != nil {
+		c.spot.releaseInstanceLocked(inst)
+	}
 	c.meter.Close(c.instRecs[inst.ID], now)
 	delete(c.instRecs, inst.ID)
 	if sp := c.instSpans[inst.ID]; sp != nil {

@@ -41,6 +41,9 @@ type Instance struct {
 	Project string
 	Flavor  Flavor
 	State   InstanceState
+	// Spot marks preemptible capacity: billed at the pool's spot price
+	// and reclaimable by the market after an advance notice.
+	Spot bool
 
 	// Tags associate usage with course structure; the simulator sets
 	// "lab" and "student" tags so the meter can attribute hours the way

@@ -1,18 +1,19 @@
-package cost
+package cost_test
 
 import (
 	"errors"
 	"math"
 	"testing"
 
+	"repro/internal/cost"
 	"repro/internal/course"
 )
 
 // table1 returns Table 1's published per-row usage.
-func table1Usage() []LabUsage {
-	var out []LabUsage
+func table1Usage() []cost.LabUsage {
+	var out []cost.LabUsage
 	for _, r := range course.Rows() {
-		out = append(out, LabUsage{
+		out = append(out, cost.LabUsage{
 			RowID:         r.ID,
 			InstanceHours: r.TargetHours * course.Enrollment,
 			FIPHours:      r.TargetFIPHours * course.Enrollment,
@@ -41,11 +42,11 @@ func TestTable1RowCostsMatchPaper(t *testing.T) {
 		"7": 381, "8": 626,
 	}
 	for _, u := range table1Usage() {
-		aws, err := LabRowCost(u, AWS)
+		aws, err := cost.LabRowCost(u, cost.AWS)
 		if err != nil {
 			t.Fatal(err)
 		}
-		gcp, err := LabRowCost(u, GCP)
+		gcp, err := cost.LabRowCost(u, cost.GCP)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,11 +65,11 @@ func TestTable1TotalsMatchPaper(t *testing.T) {
 	}
 	checkWithin(t, "instance hours", instHours, course.Paper().LabInstanceHours, 0.001)
 
-	aws, err := LabCost(usage, AWS)
+	aws, err := cost.LabCost(usage, cost.AWS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gcp, err := LabCost(usage, GCP)
+	gcp, err := cost.LabCost(usage, cost.GCP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,27 +78,27 @@ func TestTable1TotalsMatchPaper(t *testing.T) {
 }
 
 func TestEdgeRowExcluded(t *testing.T) {
-	c, err := LabRowCost(LabUsage{RowID: "6-edge", InstanceHours: 492, FIPHours: 492}, AWS)
+	c, err := cost.LabRowCost(cost.LabUsage{RowID: "6-edge", InstanceHours: 492, FIPHours: 492}, cost.AWS)
 	if err != nil || c != 0 {
 		t.Errorf("edge row cost = %v, %v; want 0, nil", c, err)
 	}
-	if _, err := LabEquivalent("6-edge"); !errors.Is(err, ErrNoEquivalent) {
+	if _, err := cost.LabEquivalent("6-edge"); !errors.Is(err, cost.ErrNoEquivalent) {
 		t.Errorf("edge equivalent err = %v", err)
 	}
 }
 
 func TestUnknownRow(t *testing.T) {
-	if _, err := LabRowCost(LabUsage{RowID: "99"}, AWS); err == nil {
+	if _, err := cost.LabRowCost(cost.LabUsage{RowID: "99"}, cost.AWS); err == nil {
 		t.Error("unknown row accepted")
 	}
-	if _, err := ProjectEquivalent("quantum"); err == nil {
+	if _, err := cost.ProjectEquivalent("quantum"); err == nil {
 		t.Error("unknown project class accepted")
 	}
 }
 
 func TestCostMonotonicInHours(t *testing.T) {
-	small, _ := LabRowCost(LabUsage{RowID: "2", InstanceHours: 100, FIPHours: 30}, AWS)
-	big, _ := LabRowCost(LabUsage{RowID: "2", InstanceHours: 200, FIPHours: 60}, AWS)
+	small, _ := cost.LabRowCost(cost.LabUsage{RowID: "2", InstanceHours: 100, FIPHours: 30}, cost.AWS)
+	big, _ := cost.LabRowCost(cost.LabUsage{RowID: "2", InstanceHours: 200, FIPHours: 60}, cost.AWS)
 	if big <= small {
 		t.Errorf("cost not monotone: %v vs %v", small, big)
 	}
@@ -109,19 +110,19 @@ func TestCostMonotonicInHours(t *testing.T) {
 func TestExpectedCostMatchesPaper(t *testing.T) {
 	// Pricing the §3 expected durations should land near the paper's
 	// expected per-student cost ($79.80 AWS, $58.85 GCP).
-	var usages []LabUsage
+	var usages []cost.LabUsage
 	for _, r := range course.Rows() {
-		usages = append(usages, LabUsage{
+		usages = append(usages, cost.LabUsage{
 			RowID:         r.ID,
 			InstanceHours: r.ExpectedHours * float64(r.VMsPerStudent) * r.Share,
 			FIPHours:      r.ExpectedHours * r.Share,
 		})
 	}
-	aws, err := LabCost(usages, AWS)
+	aws, err := cost.LabCost(usages, cost.AWS)
 	if err != nil {
 		t.Fatal(err)
 	}
-	gcp, err := LabCost(usages, GCP)
+	gcp, err := cost.LabCost(usages, cost.GCP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,11 +131,11 @@ func TestExpectedCostMatchesPaper(t *testing.T) {
 }
 
 func TestProjectCostShape(t *testing.T) {
-	u := ProjectUsage{
+	u := cost.ProjectUsage{
 		VMHours:  map[string]float64{"m1.medium": 1000},
 		GPUHours: map[string]float64{"gpu-a100": 100},
 	}
-	aws, err := ProjectCost(u, AWS)
+	aws, err := cost.ProjectCost(u, cost.AWS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestProjectCostShape(t *testing.T) {
 	// Storage and FIPs contribute.
 	u.BlockGBMonths = 100
 	u.FIPHours = 1000
-	aws2, _ := ProjectCost(u, AWS)
+	aws2, _ := cost.ProjectCost(u, cost.AWS)
 	if aws2 <= aws {
 		t.Error("storage/FIP not priced")
 	}

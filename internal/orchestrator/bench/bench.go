@@ -1,0 +1,95 @@
+// Package bench holds the spot-market benchmark bodies shared by the
+// `go test -bench` wrappers and cmd/spotbench (which runs them via
+// testing.Benchmark and writes BENCH_spot.json). Keeping the bodies in
+// a plain package means both entry points measure exactly the same code.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/cost"
+	"repro/internal/objectstore"
+	"repro/internal/orchestrator"
+	"repro/internal/resilience"
+	"repro/internal/simclock"
+	"repro/internal/telemetry"
+)
+
+// SpotPriceGen measures generating a year-long seeded spot price walk —
+// the per-pool setup cost a large simulated site pays once per pool.
+func SpotPriceGen(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cost.GenerateSpotPrices(42, cost.SpotSpec{
+			OnDemandPerHour: 1.212, Volatility: 0.25, Horizon: 8760})
+		if len(s.Segments) == 0 {
+			b.Fatal("empty series")
+		}
+	}
+}
+
+// SpotBillCents measures pricing one metered interval against a
+// many-segment series — the per-record cost of the billing scorecard.
+func SpotBillCents(b *testing.B) {
+	s := cost.GenerateSpotPrices(42, cost.SpotSpec{
+		OnDemandPerHour: 1.212, Volatility: 0.25, Horizon: 8760})
+	b.ReportAllocs()
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		total += s.Cents(100.25, 8000.75)
+	}
+	if total == 0 {
+		b.Fatal("priced nothing")
+	}
+}
+
+// SpotTrainRun measures a complete checkpoint-and-migrate survival run:
+// two training jobs on a one-slot spot pool, two preemptions, final
+// checkpoints, on-demand fallback, restore. This is the end-to-end
+// sim-throughput number for the spot subsystem.
+func SpotTrainRun(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk := simclock.New()
+		c := cloud.New("bench-site", clk)
+		c.SetTelemetry(telemetry.New())
+		c.AddBareMetal(4, cloud.ComputeLiqid)
+		c.CreateProject("lab", cloud.Quota{Instances: 100, Cores: 10000, RAMGB: 100000})
+		m := c.EnableSpot(2.0 / 60)
+		m.AddPool(cloud.ComputeLiqid, 1, cost.SpotPriceSeries{
+			OnDemandPerHour: 1.212,
+			Segments:        []cost.SpotSegment{{Start: 0, PerHour: 0.40}},
+		})
+		store := objectstore.New(clk, c)
+		if _, err := store.CreateBucket("lab", "ckpts"); err != nil {
+			b.Fatal(err)
+		}
+		tc := orchestrator.NewTrainController(clk, c)
+		tc.SetObjectStore(store)
+		for _, name := range []string{"a", "b"} {
+			err := tc.Submit(orchestrator.TrainJobSpec{
+				Name:       name,
+				Project:    "lab",
+				Targets:    []orchestrator.TrainTarget{{Flavor: cloud.ComputeLiqid, StepHours: 0.1}},
+				TotalSteps: 20,
+				Checkpoint: resilience.CheckpointPolicy{
+					IntervalHours: 0.5, WriteHours: 0.02, RestoreHours: 0.02, SizeBytes: 1 << 30,
+				},
+				Bucket: "ckpts",
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		clk.At(0.6, "bench.preempt", func() { _ = m.Preempt("compute_liqid") })
+		clk.At(1.3, "bench.preempt2", func() { _ = m.Preempt("compute_liqid") })
+		clk.Run()
+		if !tc.AllDone() {
+			b.Fatal("jobs did not complete")
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package orchestrator_test
+
+import (
+	"testing"
+
+	"repro/internal/orchestrator/bench"
+)
+
+func BenchmarkSpotPriceGen(b *testing.B)  { bench.SpotPriceGen(b) }
+func BenchmarkSpotBillCents(b *testing.B) { bench.SpotBillCents(b) }
+func BenchmarkSpotTrainRun(b *testing.B)  { bench.SpotTrainRun(b) }

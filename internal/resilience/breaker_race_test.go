@@ -1,0 +1,86 @@
+package resilience
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// halfOpenStorm trips the breaker, waits out the cooldown on the manual
+// clock, then fires `workers` concurrent Allow calls and returns how many
+// were admitted. Run under -race (make spot does), this exercises the
+// probing flag's mutual exclusion.
+func halfOpenStorm(t *testing.T, b *Breaker, manual *clock.Manual, workers int) int64 {
+	t.Helper()
+	if b.State() != Open {
+		t.Fatalf("precondition: breaker should be open, is %v", b.State())
+	}
+	manual.Advance(time.Minute)
+	var admitted int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if b.Allow() {
+				atomic.AddInt64(&admitted, 1)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	return admitted
+}
+
+// Satellite requirement: half-open admits exactly one probe under
+// concurrent load, losers are rejected, and the post-probe transitions
+// are deterministic on the injected clock.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	const workers = 64
+	manual := clock.NewManual(time.Unix(0, 0))
+	b := NewBreaker(1, time.Minute, manual)
+
+	b.Failure() // threshold 1: trips immediately
+	if got := halfOpenStorm(t, b, manual, workers); got != 1 {
+		t.Fatalf("half-open admitted %d probes, want exactly 1", got)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after storm = %v, want half-open", b.State())
+	}
+	_, rejected, _, _ := b.Stats()
+	if rejected != workers-1 {
+		t.Fatalf("rejected = %d, want %d", rejected, workers-1)
+	}
+
+	// Probe success closes the circuit; calls flow again.
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must admit calls")
+	}
+
+	// Trip again; this time the probe fails and the circuit reopens with
+	// a fresh cooldown — an immediate Allow must be rejected.
+	b.Failure()
+	if got := halfOpenStorm(t, b, manual, workers); got != 1 {
+		t.Fatalf("second storm admitted %d probes, want exactly 1", got)
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after probe failure = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker must reject before the new cooldown elapses")
+	}
+	opens, _, succeeded, failed := b.Stats()
+	if opens != 3 || succeeded != 1 || failed != 3 {
+		t.Fatalf("stats opens/succeeded/failed = %d/%d/%d, want 3/1/3", opens, succeeded, failed)
+	}
+}

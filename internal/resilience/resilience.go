@@ -15,6 +15,7 @@ package resilience
 import (
 	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/stats"
@@ -47,8 +48,18 @@ func NewBackoff(base time.Duration, factor float64, cap time.Duration, jitter fl
 		rng: stats.NewRNG(seed)}
 }
 
+// maxDelayFloat is the saturation point for delay arithmetic:
+// float64(math.MaxInt64) rounds up to exactly 2^63, so any float at or
+// above it would overflow the time.Duration conversion (whose behavior
+// for out-of-range values is implementation-specific). Delays saturate
+// at math.MaxInt64 (~292 years) instead.
+const maxDelayFloat = float64(math.MaxInt64)
+
 // Delay returns the wait before retry number attempt (0-based). It
 // advances the jitter RNG, so callers should invoke it once per retry.
+// On uncapped policies the geometric growth saturates at math.MaxInt64
+// rather than overflowing the float→Duration conversion for large
+// attempt counts.
 func (b *Backoff) Delay(attempt int) time.Duration {
 	if b == nil || b.Base <= 0 {
 		return 0
@@ -64,6 +75,9 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 			d = float64(b.Cap)
 			break
 		}
+		if d >= maxDelayFloat {
+			break
+		}
 	}
 	if b.Cap > 0 && d > float64(b.Cap) {
 		d = float64(b.Cap)
@@ -74,6 +88,9 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 			j = 1
 		}
 		d *= 1 + j*(2*b.rng.Float64()-1)
+	}
+	if d >= maxDelayFloat {
+		return math.MaxInt64
 	}
 	return time.Duration(d)
 }
