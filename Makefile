@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos trace slo sim spot check bench repro csv examples clean
+.PHONY: build test vet lint race chaos trace slo sim spot check bench benchcheck repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,12 @@ bench:
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
 	$(GO) run ./cmd/lintbench -o BENCH_lint.json
 	$(GO) run ./cmd/spotbench -o BENCH_spot.json
+
+# Allocation-regression gate: re-run the monitoring-stack suite and fail
+# if any benchmark's allocs/op regressed >20% against the committed
+# BENCH_tsdb.json (allocs/op is stable across machines; ns/op is not).
+benchcheck:
+	$(GO) run ./cmd/tsdbbench -check BENCH_tsdb.json
 
 # Regenerate every table and figure plus the capacity/support views.
 repro:

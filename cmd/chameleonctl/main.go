@@ -35,6 +35,9 @@
 //	                                (default: the longest trace)
 //	trace cost                      per-trace cost attribution vs the meter
 //	trace export <file>             write Chrome trace-event JSON (Perfetto)
+//	tsdb stats                      monitoring-pipeline self-metrics (scrape
+//	                                counters, series, interned label sets,
+//	                                wall-clock scrape cost, bus contention)
 //	spot prices [-json]             spot pool occupancy and current prices
 //	spot preemptions [-json]        preemption notices and the vacate ledger
 //	spot preempt <pool>             reclaim one slot from a spot pool
@@ -59,6 +62,7 @@ import (
 
 	"repro/internal/alert"
 	"repro/internal/blockstore"
+	"repro/internal/clock"
 	"repro/internal/cloud"
 	"repro/internal/cost"
 	"repro/internal/lease"
@@ -103,6 +107,9 @@ func main() {
 	// simulated hours (advance time to accumulate history), and the alert
 	// engine evaluates its rules on every scrape.
 	coll := tsdb.NewCollector(tsdb.New(tsdb.Options{}), bus, 0.25)
+	// Interactive sessions get real scrape-cost numbers in `tsdb stats`;
+	// deterministic outputs never read this clock.
+	coll.SetWallClock(clock.System{})
 	db := coll.DB()
 	eng := alert.NewEngine(db)
 	eng.AddRule(alert.Rule{Name: "HostDown", Expr: "cloud.hosts_down > 0",
@@ -130,7 +137,7 @@ func main() {
 			fmt.Println("hosts | fail <host> | recover <host> | resilience |")
 			fmt.Println("advance <hours> | usage | quota | metrics [-json] | quit |")
 			fmt.Println("events [n] [-component c] [-since t] [-json] |")
-			fmt.Println("query <expr> | alerts | slo | dashboard |")
+			fmt.Println("query <expr> | alerts | slo | dashboard | tsdb stats |")
 			fmt.Println("spot prices [-json] | spot preemptions [-json] | spot preempt <pool> |")
 			fmt.Println("trace list | trace show <query> | trace critical [query] |")
 			fmt.Println("trace cost | trace export <file>")
@@ -387,6 +394,17 @@ func main() {
 			fmt.Print(report.SLOSummary(eng.Statuses(clk.Now())))
 		case "dashboard":
 			fmt.Print(report.Dashboard(db, eng, clk.Now()))
+		case "tsdb":
+			if len(fields) != 2 || fields[1] != "stats" {
+				fmt.Println("usage: tsdb stats")
+				break
+			}
+			scrapes, samples := coll.Stats()
+			for _, line := range tsdbStatsLines(scrapes, samples, db.SeriesCount(),
+				db.Dropped(), coll.Interner().Len(), coll.LastScrapeDuration(),
+				bus.Contention()) {
+				fmt.Println(line)
+			}
 		case "events":
 			n, component, since := 20, "", -1.0
 			asJSON := false
@@ -606,6 +624,23 @@ func spotNoticeLines(notices []cloud.SpotNotice, preempts, reclaims, vacated int
 			n.InstanceID, n.Pool, n.NoticedAt, n.ReclaimAt))
 	}
 	return lines
+}
+
+// tsdbStatsLines renders the monitoring pipeline's self-observation:
+// the deterministic scrape counters plus the two measurements that are
+// deliberately kept out of cmp-gated reports — wall-clock cost of the
+// most recent scrape and cumulative contended bus-lock acquisitions.
+func tsdbStatsLines(scrapes, samples int64, series int, dropped int64,
+	interned int, lastDur time.Duration, contention uint64) []string {
+	return []string{
+		fmt.Sprintf("scrapes              %d", scrapes),
+		fmt.Sprintf("samples ingested     %d", samples),
+		fmt.Sprintf("live series          %d", series),
+		fmt.Sprintf("dropped samples      %d", dropped),
+		fmt.Sprintf("interned label sets  %d", interned),
+		fmt.Sprintf("last scrape          %s", lastDur),
+		fmt.Sprintf("bus contention       %d", contention),
+	}
 }
 
 // usageLines renders per-flavor instance-hour totals in sorted flavor

@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cloud"
 )
@@ -79,5 +80,29 @@ func TestSpotNoticeLines(t *testing.T) {
 	}
 	if got := spotNoticeLines(nil, 0, 0, 0); len(got) != 1 {
 		t.Fatalf("empty ledger = %q, want counters line only", got)
+	}
+}
+
+// `tsdb stats` must render stable bytes for stable pipeline state; the
+// nondeterministic measurements (scrape duration, contention) are plain
+// formatted values, never recomputed inside the renderer.
+func TestTsdbStatsLines(t *testing.T) {
+	got := tsdbStatsLines(8, 392, 47, 0, 12, 153*time.Microsecond, 3)
+	want := []string{
+		"scrapes              8",
+		"samples ingested     392",
+		"live series          47",
+		"dropped samples      0",
+		"interned label sets  12",
+		"last scrape          153µs",
+		"bus contention       3",
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("stats lines = %q, want %q", got, want)
+	}
+	for i := 0; i < 10; i++ {
+		if again := tsdbStatsLines(8, 392, 47, 0, 12, 153*time.Microsecond, 3); strings.Join(again, "\n") != strings.Join(want, "\n") {
+			t.Fatalf("stats lines unstable: %q", again)
+		}
 	}
 }

@@ -66,7 +66,8 @@ func Alerts(active []alert.Instance, timeline []alert.Transition) string {
 
 // Dashboard renders the fixed-layout text dashboard over the TSDB:
 // capacity gauges, queue depth, latency quantiles for every scraped
-// histogram, SLO scorecard, and active alerts. Every panel is driven by
+// histogram, the monitoring pipeline's own self-metrics, SLO scorecard,
+// and active alerts. Every panel is driven by
 // PromQL-lite queries against step-aligned scrapes, so the output is
 // byte-identical for the same seed.
 func Dashboard(db *tsdb.DB, eng *alert.Engine, now float64) string {
@@ -118,6 +119,12 @@ func Dashboard(db *tsdb.DB, eng *alert.Engine, now float64) string {
 	if !wroteAny {
 		b.WriteString("(no histograms scraped)\n")
 	}
+
+	b.WriteString("\n-- Observability --\n")
+	writePanel(&b, db, now, "tsdb.scrapes", "tsdb.scrapes")
+	writePanel(&b, db, now, "tsdb.scrape_samples", "tsdb.scrape_samples")
+	writePanel(&b, db, now, "tsdb.series_count", "tsdb.series_count")
+	writePanel(&b, db, now, "tsdb.dropped_samples", "tsdb.dropped_samples")
 
 	if eng != nil {
 		b.WriteString("\n-- Error budget --\n")

@@ -57,6 +57,11 @@ func TestDashboardDeterministicAndComplete(t *testing.T) {
 		"-- Capacity --",
 		"-- Queues --",
 		"-- Latency quantiles --",
+		"-- Observability --",
+		"tsdb.scrapes",
+		"tsdb.scrape_samples",
+		"tsdb.series_count",
+		"tsdb.dropped_samples",
 		"-- Error budget --",
 		"== Alerts ==",
 		`cloud.instances_active{flavor="m1.large"}`,

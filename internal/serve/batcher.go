@@ -57,7 +57,19 @@ type Batcher struct {
 	closeOnce sync.Once
 
 	tel *telemetry.Bus
-	clk clock.Clock
+	// Instrument handles resolved once in SetTelemetry; all nil (no-op)
+	// when no bus is attached. Keeps Labeled/bucket construction off the
+	// per-batch path.
+	telBatches    *telemetry.Counter
+	telRequests   *telemetry.Counter
+	telTracedReqs *telemetry.Counter
+	telPlainReqs  *telemetry.Counter
+	telRejected   *telemetry.Counter
+	telShed       *telemetry.Counter
+	telQueueDepth *telemetry.Gauge
+	telBatchSize  *telemetry.Histogram
+	telBatchForm  *telemetry.Histogram
+	clk           clock.Clock
 
 	mu          sync.Mutex
 	batches     int
@@ -105,7 +117,22 @@ func NewBatcherClock(maxBatch int, maxDelay time.Duration, instances int, execut
 
 // SetTelemetry attaches a telemetry bus; batch sizes, formation latency,
 // and request/batch counters are instrumented. Call before Submit.
-func (b *Batcher) SetTelemetry(bus *telemetry.Bus) { b.tel = bus }
+// Instruments are registered here, once, so the per-batch path only
+// touches pre-resolved handles.
+func (b *Batcher) SetTelemetry(bus *telemetry.Bus) {
+	b.tel = bus
+	b.telBatches = bus.Counter("serve.batches")
+	b.telRequests = bus.Counter("serve.requests")
+	b.telTracedReqs = bus.Counter(telemetry.Labeled("serve.requests",
+		telemetry.String("traced", "yes")))
+	b.telPlainReqs = bus.Counter(telemetry.Labeled("serve.requests",
+		telemetry.String("traced", "no")))
+	b.telRejected = bus.Counter("serve.rejected_closed")
+	b.telShed = bus.Counter("serve.shed")
+	b.telQueueDepth = bus.Gauge("serve.queue_depth")
+	b.telBatchSize = bus.Histogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 32))
+	b.telBatchForm = bus.Histogram("serve.batch_form_seconds", telemetry.LatencyBuckets())
+}
 
 // instance collects one batch at a time and executes it.
 func (b *Batcher) instance() {
@@ -179,8 +206,8 @@ func (b *Batcher) run(batch []*Request) {
 	b.requests += len(batch)
 	b.sumBatchLen += len(batch)
 	b.mu.Unlock()
-	b.tel.Counter("serve.batches").Inc()
-	b.tel.Counter("serve.requests").Add(int64(len(batch)))
+	b.telBatches.Inc()
+	b.telRequests.Add(int64(len(batch)))
 	var traced, untraced int64
 	for _, r := range batch {
 		if r.span != nil {
@@ -190,16 +217,14 @@ func (b *Batcher) run(batch []*Request) {
 		}
 	}
 	if traced > 0 {
-		b.tel.Counter(telemetry.Labeled("serve.requests",
-			telemetry.String("traced", "yes"))).Add(traced)
+		b.telTracedReqs.Add(traced)
 	}
 	if untraced > 0 {
-		b.tel.Counter(telemetry.Labeled("serve.requests",
-			telemetry.String("traced", "no"))).Add(untraced)
+		b.telPlainReqs.Add(untraced)
 	}
-	b.tel.Gauge("serve.queue_depth").Set(float64(len(b.queue)))
-	b.tel.Histogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 32)).Observe(float64(len(batch)))
-	b.tel.Histogram("serve.batch_form_seconds", telemetry.LatencyBuckets()).Observe(formation.Seconds())
+	b.telQueueDepth.Set(float64(len(b.queue)))
+	b.telBatchSize.Observe(float64(len(batch)))
+	b.telBatchForm.Observe(formation.Seconds())
 	b.tel.Emit("serve.batch",
 		telemetry.Int("size", len(batch)),
 		telemetry.Float("form_ms", float64(formation.Microseconds())/1000))
@@ -233,7 +258,7 @@ func (b *Batcher) submit(input []float64, span *trace.Span) (Response, error) {
 	b.closeMu.RLock()
 	if b.closed {
 		b.closeMu.RUnlock()
-		b.tel.Counter("serve.rejected_closed").Inc()
+		b.telRejected.Inc()
 		span.Annotate(telemetry.String("error", ErrBatcherClosed.Error()))
 		span.Finish()
 		return Response{}, ErrBatcherClosed
@@ -243,7 +268,7 @@ func (b *Batcher) submit(input []float64, span *trace.Span) (Response, error) {
 	// `closed`, and Close cannot flip it while we hold the read lock.
 	//lint:ignore lockedcallback send under closeMu.RLock is the shutdown protocol: instances drain the queue until Close flips closed, and Close cannot flip it while this read lock is held, so the send always progresses
 	b.queue <- r
-	b.tel.Gauge("serve.queue_depth").Set(float64(len(b.queue)))
+	b.telQueueDepth.Set(float64(len(b.queue)))
 	b.closeMu.RUnlock()
 	// The response always arrives: either an instance executed the batch
 	// or Close's drain answered with ErrBatcherClosed — so this is the
@@ -270,7 +295,7 @@ func (b *Batcher) submit(input []float64, span *trace.Span) (Response, error) {
 // matters, not exactness.
 func (b *Batcher) TrySubmit(input []float64) (Response, error) {
 	if len(b.queue) >= cap(b.queue) {
-		b.tel.Counter("serve.shed").Inc()
+		b.telShed.Inc()
 		b.tel.Emit("serve.shed")
 		return Response{}, ErrOverloaded
 	}
@@ -282,7 +307,7 @@ func (b *Batcher) TrySubmit(input []float64) (Response, error) {
 // traces show every rejection the client saw.
 func (b *Batcher) TrySubmitTraced(input []float64, parent *trace.Span) (Response, error) {
 	if len(b.queue) >= cap(b.queue) {
-		b.tel.Counter("serve.shed").Inc()
+		b.telShed.Inc()
 		b.tel.Emit("serve.shed")
 		span := parent.StartChild("serve.request",
 			telemetry.String("outcome", "shed"),
@@ -309,7 +334,7 @@ func (b *Batcher) Close() {
 		for {
 			select {
 			case r := <-b.queue:
-				b.tel.Counter("serve.rejected_closed").Inc()
+				b.telRejected.Inc()
 				r.result <- Response{Err: ErrBatcherClosed}
 			default:
 				b.tel.Emit("serve.close")

@@ -28,6 +28,13 @@ type ReplicaSet struct {
 	threshold int
 	cooldown  time.Duration
 
+	// Instrument handles resolved once in NewReplicaSet; nil (no-op)
+	// when tel is nil, so the routing path never builds metric names.
+	telShed     *telemetry.Counter
+	telErrors   *telemetry.Counter
+	telRequests *telemetry.Counter
+	telOpens    *telemetry.Counter
+
 	mu       sync.Mutex
 	replicas []*replica
 	rr       int
@@ -50,7 +57,13 @@ func NewReplicaSet(threshold int, cooldown time.Duration, clk clock.Clock, tel *
 	if clk == nil {
 		clk = clock.System{}
 	}
-	return &ReplicaSet{clk: clk, tel: tel, threshold: threshold, cooldown: cooldown}
+	return &ReplicaSet{
+		clk: clk, tel: tel, threshold: threshold, cooldown: cooldown,
+		telShed:     tel.Counter("serve.shed"),
+		telErrors:   tel.Counter("serve.replica_errors"),
+		telRequests: tel.Counter("serve.replica_requests"),
+		telOpens:    tel.Counter("serve.breaker_opens"),
+	}
 }
 
 // Add registers a replica that can hold capacity concurrent requests.
@@ -96,7 +109,7 @@ func (rs *ReplicaSet) Do(fn func(replicaName string) error) error {
 	if chosen == nil {
 		rs.shed++
 		rs.mu.Unlock()
-		rs.tel.Counter("serve.shed").Inc()
+		rs.telShed.Inc()
 		rs.tel.Emit("serve.shed")
 		return ErrOverloaded
 	}
@@ -109,18 +122,18 @@ func (rs *ReplicaSet) Do(fn func(replicaName string) error) error {
 	chosen.inflight--
 	if err != nil {
 		chosen.breaker.Failure()
-		rs.tel.Counter("serve.replica_errors").Inc()
+		rs.telErrors.Inc()
 	} else {
 		chosen.breaker.Success()
 	}
-	rs.tel.Counter("serve.replica_requests").Inc()
+	rs.telRequests.Inc()
 	if state := chosen.breaker.State(); state != chosen.lastState {
 		chosen.lastState = state
 		rs.tel.Emit("serve.replica_state",
 			telemetry.String("replica", chosen.name),
 			telemetry.String("state", state.String()))
 		if state == resilience.Open {
-			rs.tel.Counter("serve.breaker_opens").Inc()
+			rs.telOpens.Inc()
 		}
 	}
 	rs.mu.Unlock()

@@ -10,3 +10,5 @@ import (
 // -bench` and cmd/tsdbbench measure identical code.
 
 func BenchmarkBusEmit(b *testing.B) { bench.BusEmit(b) }
+
+func BenchmarkBusEmitParallel(b *testing.B) { bench.BusEmitParallel(b) }

@@ -14,16 +14,25 @@
 //     handles, and methods on nil handles are no-ops, so instrumented
 //     components need no "is telemetry enabled?" branches.
 //   - Counters and gauges are lock-free (atomics); histograms take a
-//     short per-histogram lock; Emit takes the bus lock only to append
-//     to the ring and snapshot the subscriber list.
+//     short per-histogram lock. The instrument registry is lock-striped
+//     into shards keyed by a hash of the instrument name, so concurrent
+//     workers registering or looking up instruments do not contend on
+//     one mutex — and never contend with Emit at all.
+//   - Emit takes the event lock only to append to the ring and grab the
+//     immutable subscriber snapshot; failed lock acquisitions are
+//     counted (Contention) so the monitoring plane can observe its own
+//     hot-path pressure.
 //   - Subscribers run synchronously on the emitting goroutine, outside
 //     the bus lock. They must be fast and must not call back into the
 //     component that emitted (which may hold its own lock).
+//   - Snapshot and Instruments merge the shards in deterministic name
+//     order, so shard assignment never leaks into rendered output.
 package telemetry
 
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -165,6 +174,34 @@ type Histogram struct {
 	total  int64
 }
 
+// Bounds returns the sorted bucket upper bounds (excluding the implicit
+// +Inf overflow bucket). The slice is shared and must not be mutated.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// SnapshotDelta reads the histogram state under one lock acquisition.
+// If the observation total still equals lastTotal, nothing has been
+// observed since the caller's previous read and it returns
+// changed=false without copying any counts — the caller replays its
+// cached values. Otherwise the per-bucket counts (len(bounds)+1, last
+// is overflow) are appended to dst and the consistent (counts, sum,
+// total) triple is returned. Pass lastTotal = -1 to force a read.
+func (h *Histogram) SnapshotDelta(lastTotal int64, dst []int64) (counts []int64, sum float64, total int64, changed bool) {
+	if h == nil {
+		return nil, 0, 0, false
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == lastTotal {
+		return nil, h.sum, h.total, false
+	}
+	return append(dst, h.counts...), h.sum, h.total, true
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
@@ -268,23 +305,53 @@ func LatencyBuckets() []float64 { return ExpBuckets(0.001, 2, 14) }
 // DefaultRingSize is the event-ring capacity used by New.
 const DefaultRingSize = 1024
 
+// numShards is the instrument-registry stripe count. Shard assignment
+// hashes the instrument name, so hot emit sites registering labeled
+// instruments spread across independent locks instead of serializing on
+// one registry mutex.
+const numShards = 16
+
+// registryShard is one lock stripe of the instrument registry.
+type registryShard struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// shardIndex hashes an instrument name onto a registry stripe (FNV-1a).
+func shardIndex(name string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= prime32
+	}
+	return int(h % numShards)
+}
+
 // Bus is one telemetry domain: a metric registry plus an event stream.
 // All methods are safe for concurrent use; the zero value is not usable,
 // call New or NewWithRing.
 type Bus struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
+	shards [numShards]registryShard
+	gen    atomic.Uint64 // bumped on every instrument registration
 
-	ring    []Event // circular; valid entries are the `filled` before head
-	head    int     // next write position
-	filled  int     // number of valid entries, <= len(ring)
-	seq     uint64  // next event sequence number
-	dropped uint64  // events overwritten before being read is not tracked; this counts ring overwrites
+	mu      sync.Mutex // guards the event ring and the subscriber registry
+	ring    []Event    // circular; valid entries are the `filled` before head
+	head    int        // next write position
+	filled  int        // number of valid entries, <= len(ring)
+	seq     uint64     // next event sequence number
+	dropped uint64     // events overwritten before being read is not tracked; this counts ring overwrites
 
-	subs   map[int]Subscriber
-	nextID int
+	contention atomic.Uint64 // Emit calls that found the event lock held
+
+	subs     map[int]Subscriber
+	subCache []Subscriber // immutable id-ordered snapshot; rebuilt on (un)subscribe
+	nextID   int
 }
 
 // New returns a bus with the default ring size.
@@ -296,13 +363,36 @@ func NewWithRing(ringSize int) *Bus {
 	if ringSize < 1 {
 		ringSize = 1
 	}
-	return &Bus{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		hists:    map[string]*Histogram{},
-		ring:     make([]Event, ringSize),
-		subs:     map[int]Subscriber{},
+	b := &Bus{
+		ring: make([]Event, ringSize),
+		subs: map[int]Subscriber{},
 	}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.counters = map[string]*Counter{}
+		sh.gauges = map[string]*Gauge{}
+		sh.hists = map[string]*Histogram{}
+	}
+	return b
+}
+
+// Gen returns the registry generation: it increases every time a new
+// instrument is registered, so scrapers can cache instrument listings
+// and invalidate only when something was added.
+func (b *Bus) Gen() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.gen.Load()
+}
+
+// Contention returns how many Emit calls found the event lock already
+// held — the bus's own measure of hot-path lock pressure.
+func (b *Bus) Contention() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.contention.Load()
 }
 
 // Counter returns (registering on first use) the named counter.
@@ -310,12 +400,19 @@ func (b *Bus) Counter(name string) *Counter {
 	if b == nil {
 		return nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	c, ok := b.counters[name]
-	if !ok {
+	sh := &b.shards[shardIndex(name)]
+	sh.mu.RLock()
+	c := sh.counters[name]
+	sh.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c = sh.counters[name]; c == nil {
 		c = &Counter{name: name}
-		b.counters[name] = c
+		sh.counters[name] = c
+		b.gen.Add(1)
 	}
 	return c
 }
@@ -325,12 +422,19 @@ func (b *Bus) Gauge(name string) *Gauge {
 	if b == nil {
 		return nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	g, ok := b.gauges[name]
-	if !ok {
+	sh := &b.shards[shardIndex(name)]
+	sh.mu.RLock()
+	g := sh.gauges[name]
+	sh.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if g = sh.gauges[name]; g == nil {
 		g = &Gauge{name: name}
-		b.gauges[name] = g
+		sh.gauges[name] = g
+		b.gen.Add(1)
 	}
 	return g
 }
@@ -342,27 +446,39 @@ func (b *Bus) Histogram(name string, bounds []float64) *Histogram {
 	if b == nil {
 		return nil
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	h, ok := b.hists[name]
-	if !ok {
+	sh := &b.shards[shardIndex(name)]
+	sh.mu.RLock()
+	h := sh.hists[name]
+	sh.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if h = sh.hists[name]; h == nil {
 		bs := append([]float64(nil), bounds...)
 		sort.Float64s(bs)
 		h = &Histogram{name: name, bounds: bs, counts: make([]int64, len(bs)+1)}
-		b.hists[name] = h
+		sh.hists[name] = h
+		b.gen.Add(1)
 	}
 	return h
 }
 
 // Emit appends a trace event to the ring and fans it out to subscribers.
 // Subscribers run synchronously on the caller's goroutine, outside the
-// bus lock.
+// bus lock. The subscriber list is an immutable snapshot rebuilt only
+// when subscriptions change, so Emit never allocates for fan-out; lock
+// acquisitions that had to wait are counted in Contention.
 func (b *Bus) Emit(span string, attrs ...Attr) {
 	if b == nil {
 		return
 	}
 	e := Event{Span: span, Attrs: append([]Attr(nil), attrs...)}
-	b.mu.Lock()
+	if !b.mu.TryLock() {
+		b.contention.Add(1)
+		b.mu.Lock()
+	}
 	e.Seq = b.seq
 	b.seq++
 	if b.filled == len(b.ring) {
@@ -373,22 +489,30 @@ func (b *Bus) Emit(span string, attrs ...Attr) {
 	if b.filled < len(b.ring) {
 		b.filled++
 	}
-	var fns []Subscriber
-	if len(b.subs) > 0 {
-		fns = make([]Subscriber, 0, len(b.subs))
-		ids := make([]int, 0, len(b.subs))
-		for id := range b.subs {
-			ids = append(ids, id)
-		}
-		sort.Ints(ids)
-		for _, id := range ids {
-			fns = append(fns, b.subs[id])
-		}
-	}
+	fns := b.subCache
 	b.mu.Unlock()
 	for _, fn := range fns {
 		fn(e)
 	}
+}
+
+// rebuildSubCache recomputes the immutable subscriber snapshot in
+// subscription-id order. Callers must hold b.mu.
+func (b *Bus) rebuildSubCache() {
+	if len(b.subs) == 0 {
+		b.subCache = nil
+		return
+	}
+	ids := make([]int, 0, len(b.subs))
+	for id := range b.subs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fns := make([]Subscriber, 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, b.subs[id])
+	}
+	b.subCache = fns
 }
 
 // Subscribe registers fn for every subsequent event and returns a cancel
@@ -401,10 +525,12 @@ func (b *Bus) Subscribe(fn Subscriber) (cancel func()) {
 	id := b.nextID
 	b.nextID++
 	b.subs[id] = fn
+	b.rebuildSubCache()
 	b.mu.Unlock()
 	return func() {
 		b.mu.Lock()
 		delete(b.subs, id)
+		b.rebuildSubCache()
 		b.mu.Unlock()
 	}
 }
@@ -453,48 +579,128 @@ func (b *Bus) Dropped() uint64 {
 
 // Snapshot returns every registered instrument's current value, sorted
 // by name (counters, then gauges, then histograms share one namespace —
-// names should not collide across kinds).
-func (b *Bus) Snapshot() []Metric {
-	if b == nil {
-		return nil
-	}
-	b.mu.Lock()
-	counters := make([]*Counter, 0, len(b.counters))
-	for _, c := range b.counters {
-		counters = append(counters, c)
-	}
-	gauges := make([]*Gauge, 0, len(b.gauges))
-	for _, g := range b.gauges {
-		gauges = append(gauges, g)
-	}
-	hists := make([]*Histogram, 0, len(b.hists))
-	for _, h := range b.hists {
-		hists = append(hists, h)
-	}
-	b.mu.Unlock()
+// names should not collide across kinds). The result is freshly
+// allocated and owned by the caller; hot paths that scrape repeatedly
+// should use SnapshotAppend with a reused buffer.
+func (b *Bus) Snapshot() []Metric { return b.SnapshotAppend(nil) }
 
-	out := make([]Metric, 0, len(counters)+len(gauges)+len(hists))
-	for _, c := range counters {
-		out = append(out, Metric{Name: c.name, Kind: "counter", Value: float64(c.Value())})
+// SnapshotAppend fills buf (reusing its backing array and any nested
+// bucket slices) with every registered instrument's current value and
+// returns it, sorted by name with kind as the tie-break. One output
+// slice is sized and filled directly — no per-kind intermediates. The
+// shards are merged in deterministic name order, so shard assignment
+// never shows in the output.
+func (b *Bus) SnapshotAppend(buf []Metric) []Metric {
+	if b == nil {
+		return buf[:0]
 	}
-	for _, g := range gauges {
-		out = append(out, Metric{Name: g.name, Kind: "gauge", Value: g.Value()})
+	out := buf[:0]
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		n += len(sh.counters) + len(sh.gauges) + len(sh.hists)
+		sh.mu.RUnlock()
 	}
-	for _, h := range hists {
-		h.mu.Lock()
-		m := Metric{Name: h.name, Kind: "histogram", Count: h.total, Sum: h.sum}
-		m.Buckets = make([]Bucket, len(h.counts))
-		for i, c := range h.counts {
-			bound := math.Inf(1)
-			if i < len(h.bounds) {
-				bound = h.bounds[i]
-			}
-			m.Buckets[i] = Bucket{Bound: bound, Count: c}
+	if cap(out) < n {
+		out = make([]Metric, 0, n)
+	}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.counters {
+			out, _ = extendMetric(out, c.name, "counter")
+			out[len(out)-1].Value = float64(c.Value())
 		}
-		h.mu.Unlock()
-		out = append(out, m)
+		for _, g := range sh.gauges {
+			out, _ = extendMetric(out, g.name, "gauge")
+			out[len(out)-1].Value = g.Value()
+		}
+		for _, h := range sh.hists {
+			var m *Metric
+			out, m = extendMetric(out, h.name, "histogram")
+			h.mu.Lock()
+			m.Count, m.Sum = h.total, h.sum
+			for i, c := range h.counts {
+				bound := math.Inf(1)
+				if i < len(h.bounds) {
+					bound = h.bounds[i]
+				}
+				m.Buckets = append(m.Buckets, Bucket{Bound: bound, Count: c})
+			}
+			h.mu.Unlock()
+		}
+		sh.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	// Instruments were gathered shard by shard; the deterministic merge
+	// order is by name (kind as tie-break, names should not collide
+	// across kinds anyway). slices.SortFunc is allocation-free, unlike
+	// sort.Slice's interface-and-closure machinery.
+	slices.SortFunc(out, compareMetrics)
+	return out
+}
+
+// compareMetrics orders snapshot entries by name, kind as tie-break.
+func compareMetrics(a, b Metric) int {
+	if c := strings.Compare(a.Name, b.Name); c != 0 {
+		return c
+	}
+	return strings.Compare(a.Kind, b.Kind)
+}
+
+// extendMetric grows out by one element, reusing the dormant element's
+// bucket slice capacity when the backing array already holds one, and
+// resets it to a fresh scalar metric.
+func extendMetric(out []Metric, name, kind string) ([]Metric, *Metric) {
+	if len(out) < cap(out) {
+		out = out[:len(out)+1]
+	} else {
+		out = append(out, Metric{})
+	}
+	m := &out[len(out)-1]
+	*m = Metric{Name: name, Kind: kind, Buckets: m.Buckets[:0]}
+	return out, m
+}
+
+// Instrument is one registered bus instrument: exactly one of Counter,
+// Gauge, or Hist is non-nil, matching Kind.
+type Instrument struct {
+	Name    string
+	Kind    string // "counter", "gauge", or "histogram"
+	Counter *Counter
+	Gauge   *Gauge
+	Hist    *Histogram
+}
+
+// Instruments fills buf (reusing its backing array) with every
+// registered instrument handle, sorted by name with kind as the
+// tie-break — the same deterministic merge order as Snapshot. Callers
+// pair it with Gen to cache the listing between registrations.
+func (b *Bus) Instruments(buf []Instrument) []Instrument {
+	if b == nil {
+		return buf[:0]
+	}
+	out := buf[:0]
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.counters {
+			out = append(out, Instrument{Name: c.name, Kind: "counter", Counter: c})
+		}
+		for _, g := range sh.gauges {
+			out = append(out, Instrument{Name: g.name, Kind: "gauge", Gauge: g})
+		}
+		for _, h := range sh.hists {
+			out = append(out, Instrument{Name: h.name, Kind: "histogram", Hist: h})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Kind < out[j].Kind
+	})
 	return out
 }
 

@@ -248,3 +248,117 @@ func TestBucketHelpers(t *testing.T) {
 		t.Errorf("LatencyBuckets = %v", lb)
 	}
 }
+
+// Snapshot must build one sized output slice per call, and
+// SnapshotAppend must reuse the caller's backing array (including the
+// per-metric bucket slices) so a steady-state scraper allocates
+// nothing. Both must keep the deterministic name-then-kind order across
+// the sharded registry.
+func TestSnapshotAppendReuseAndOrder(t *testing.T) {
+	b := New()
+	// Names chosen to land in different shards and to be unsorted at
+	// registration time.
+	b.Counter("zz.ops").Add(3)
+	b.Counter("aa.ops").Add(1)
+	b.Gauge("mm.depth").Set(7)
+	h := b.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(9)
+
+	buf := b.SnapshotAppend(nil)
+	var names []string
+	for _, m := range buf {
+		names = append(names, m.Name)
+	}
+	want := []string{"aa.ops", "lat", "mm.depth", "zz.ops"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("snapshot order = %v, want %v", names, want)
+		}
+	}
+	if len(buf[1].Buckets) != 3 {
+		t.Fatalf("histogram buckets = %+v", buf[1].Buckets)
+	}
+
+	// Re-snapshot into the same buffer: identical contents, same array.
+	first := &buf[0]
+	again := b.SnapshotAppend(buf[:0])
+	if len(again) != len(buf) || &again[0] != first {
+		t.Fatal("SnapshotAppend did not reuse the caller's backing array")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		again = b.SnapshotAppend(again[:0])
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state SnapshotAppend allocates %.1f/op, want 0", allocs)
+	}
+	if v, ok := Find(again, "zz.ops"); !ok || v.Value != 3 {
+		t.Fatalf("reused snapshot content wrong: %+v", again)
+	}
+}
+
+// Instruments lists live handles in the same deterministic order as
+// Snapshot, and its generation counter only moves on registration.
+func TestInstrumentsListingAndGen(t *testing.T) {
+	b := New()
+	g0 := b.Gen()
+	c := b.Counter("x.ops")
+	if b.Gen() == g0 {
+		t.Fatal("registration did not bump the generation")
+	}
+	g1 := b.Gen()
+	b.Counter("x.ops").Inc() // lookup, not a registration
+	c.Add(5)
+	if b.Gen() != g1 {
+		t.Fatal("lookup/update moved the generation")
+	}
+	b.Histogram("a.lat", []float64{1}).Observe(0.5)
+	insts := b.Instruments(nil)
+	if len(insts) != 2 || insts[0].Name != "a.lat" || insts[0].Kind != "histogram" ||
+		insts[1].Name != "x.ops" || insts[1].Kind != "counter" {
+		t.Fatalf("instruments = %+v", insts)
+	}
+	if insts[1].Counter.Value() != 6 {
+		t.Fatalf("listed counter handle is not live: %d", insts[1].Counter.Value())
+	}
+}
+
+// The lock-striped registry must be safe under concurrent first-use
+// registration and return one canonical handle per name (run under
+// -race via make slo / make trace).
+func TestShardedRegistryConcurrentLabeled(t *testing.T) {
+	b := New()
+	const workers, names = 8, 32
+	got := make([][]*Counter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]*Counter, names)
+			for i := 0; i < names; i++ {
+				name := Labeled("reg.ops", String("shard", fmt.Sprintf("s%02d", i)))
+				got[w][i] = b.Counter(name)
+				got[w][i].Inc()
+				b.Gauge(name).Set(float64(i))
+				b.Histogram(name, []float64{1}).Observe(0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		for i := 0; i < names; i++ {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d got a different handle for name %d", w, i)
+			}
+		}
+	}
+	for i := 0; i < names; i++ {
+		if v := got[0][i].Value(); v != workers {
+			t.Errorf("counter %d = %d, want %d", i, v, workers)
+		}
+	}
+	if n := len(b.Instruments(nil)); n != 3*names {
+		t.Errorf("instrument count = %d, want %d", n, 3*names)
+	}
+}

@@ -6,6 +6,7 @@ package bench
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/telemetry"
@@ -72,3 +73,85 @@ func QueryRate(b *testing.B) {
 		}
 	}
 }
+
+// CollectorScrapeFull measures the same scrape as CollectorScrape but
+// through the full-snapshot fallback path (SetDelta(false)) — the
+// pooled Bus.SnapshotAppend route that the delta path must stay
+// byte-identical with.
+func CollectorScrapeFull(b *testing.B) {
+	bus := telemetry.New()
+	for i := 0; i < 20; i++ {
+		shard := telemetry.String("shard", fmt.Sprintf("s%02d", i))
+		bus.Counter(telemetry.Labeled("bench.ops", shard)).Add(int64(i + 1))
+		bus.Gauge(telemetry.Labeled("bench.depth", shard)).Set(float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		h := bus.Histogram(fmt.Sprintf("bench.lat_%d", i), telemetry.LatencyBuckets())
+		for j := 0; j < 64; j++ {
+			h.Observe(0.001 * float64(j+1))
+		}
+	}
+	coll := tsdb.NewCollector(tsdb.New(tsdb.Options{
+		Retention: 24, RawWindow: 6, DownsampleStep: 0.25,
+	}), bus, 0.25)
+	coll.SetDelta(false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		coll.Scrape(0.25 * float64(i+1))
+	}
+}
+
+// CollectorScrapeChurn measures the delta path's worst case: every
+// instrument (including every histogram) changes between scrapes, so no
+// cached replay is possible and each scrape re-reads all bucket arrays.
+func CollectorScrapeChurn(b *testing.B) {
+	bus := telemetry.New()
+	ctrs := make([]*telemetry.Counter, 20)
+	hists := make([]*telemetry.Histogram, 5)
+	for i := 0; i < 20; i++ {
+		shard := telemetry.String("shard", fmt.Sprintf("s%02d", i))
+		ctrs[i] = bus.Counter(telemetry.Labeled("bench.ops", shard))
+		bus.Gauge(telemetry.Labeled("bench.depth", shard)).Set(float64(i))
+	}
+	for i := 0; i < 5; i++ {
+		hists[i] = bus.Histogram(fmt.Sprintf("bench.lat_%d", i), telemetry.LatencyBuckets())
+	}
+	coll := tsdb.NewCollector(tsdb.New(tsdb.Options{
+		Retention: 24, RawWindow: 6, DownsampleStep: 0.25,
+	}), bus, 0.25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range ctrs {
+			c.Inc()
+		}
+		for _, h := range hists {
+			h.Observe(0.001 * float64(i%64+1))
+		}
+		coll.Scrape(0.25 * float64(i+1))
+	}
+}
+
+// BusEmitParallel measures Emit plus instrument updates under goroutine
+// concurrency — the lock-striped registry and TryLock-counted event
+// ring are exactly what this path exercises in sharded simulations.
+func BusEmitParallel(b *testing.B) {
+	bus := telemetry.New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var worker int64
+	b.RunParallel(func(pb *testing.PB) {
+		id := atomicAdd(&worker, 1)
+		c := bus.Counter(telemetry.Labeled("bench.ops",
+			telemetry.String("worker", fmt.Sprintf("w%02d", id))))
+		shared := bus.Counter("bench.total")
+		for pb.Next() {
+			c.Inc()
+			shared.Inc()
+			bus.Emit("bench.request", telemetry.String("outcome", "ok"))
+		}
+	})
+}
+
+func atomicAdd(p *int64, d int64) int64 { return atomic.AddInt64(p, d) }

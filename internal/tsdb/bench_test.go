@@ -12,3 +12,7 @@ import (
 func BenchmarkCollectorScrape(b *testing.B) { bench.CollectorScrape(b) }
 
 func BenchmarkQueryRate(b *testing.B) { bench.QueryRate(b) }
+
+func BenchmarkCollectorScrapeFull(b *testing.B) { bench.CollectorScrapeFull(b) }
+
+func BenchmarkCollectorScrapeChurn(b *testing.B) { bench.CollectorScrapeChurn(b) }

@@ -4,14 +4,16 @@ import (
 	"math"
 	"strconv"
 	"sync"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
 
-// Collector turns telemetry.Bus snapshots into labeled series. It
-// scrapes Bus.Snapshot() on a sim-clock-aligned interval and also
-// accepts pushed samples for metrics that never touch the bus.
+// Collector turns telemetry.Bus instruments into labeled series. It
+// scrapes on a sim-clock-aligned interval and also accepts pushed
+// samples for metrics that never touch the bus.
 //
 // Scrape mapping (Prometheus conventions, adapted to the bus):
 //
@@ -25,6 +27,21 @@ import (
 // parsed back into base name + labels; flat names become label-less
 // series. Scrapes are aligned to multiples of the interval, so two runs
 // of the same seeded scenario produce byte-identical series.
+//
+// The hot path follows the zero-alloc scrape contract (DESIGN §14):
+// each instrument is resolved once into a scrapePlan — labeled name
+// parsed, base labels folded in, label sets interned, bucket `le`
+// strings formatted, SeriesRef handles created — and every later scrape
+// replays the plan. In delta mode (the default) histograms are read via
+// SnapshotDelta: when the observation total is unchanged since the last
+// scrape the cached cumulative buckets are replayed at the new
+// timestamp, so the stored bytes are identical to a full scrape by
+// construction (proven by a cmp test) without touching the bucket
+// array. SetDelta(false) selects the full-snapshot fallback, which
+// routes Bus.SnapshotAppend output through the same plans.
+//
+// Base labels must be configured before the first scrape: plans bake
+// them in at creation.
 type Collector struct {
 	db  *DB
 	bus *telemetry.Bus
@@ -34,23 +51,114 @@ type Collector struct {
 	// Base labels stamped onto every scraped series (e.g. site).
 	Base Labels
 
-	mu       sync.Mutex
-	onScrape []func(now float64)
-	scrapes  int64
-	samples  int64
+	mu         sync.Mutex
+	onScrape   []func(now float64)
+	hooksCache []func(now float64) // immutable snapshot of onScrape
+	scrapes    int64
+	samples    int64
+
+	delta    bool
+	interner *Interner
+	plans    map[string]*scrapePlan // keyed by full instrument name, chained on kind
+	insts    []telemetry.Instrument // cached bus listing, valid while instGen matches
+	planned  []*scrapePlan          // parallel to insts
+	instGen  uint64
+	instsOK  bool
+	snapPool sync.Pool // *[]telemetry.Metric, full-snapshot fallback only
+
+	// Self-observation. The deterministic pipeline metrics
+	// (tsdb.scrapes, tsdb.scrape_samples, tsdb.series_count,
+	// tsdb.dropped_samples) go into the main DB so dashboards and rules
+	// can query them; the nondeterministic ones (wall-clock
+	// tsdb.scrape_duration, telemetry.bus_contention) go into a separate
+	// self store that never feeds cmp-gated output.
+	self        *DB
+	wall        clock.Clock // nil: scrape_duration reads 0
+	lastDur     time.Duration
+	selfScrapes *SeriesRef
+	selfSamples *SeriesRef
+	selfSeries  *SeriesRef
+	selfDropped *SeriesRef
+	selfDur     *SeriesRef
+	selfCont    *SeriesRef
+}
+
+// scrapePlan is the precomputed per-instrument scrape recipe: all
+// parsing, label canonicalization, interning and `le` formatting happens
+// once when the plan is built; scrapes only read values and AppendRef.
+type scrapePlan struct {
+	kind string
+	alt  *scrapePlan // next plan with the same name but different kind
+
+	ref *SeriesRef // counter / gauge
+
+	// Histogram state. cums caches the cumulative bucket values (and
+	// lastSum/lastCount the sum/count series values) as of the last
+	// changed read, replayed verbatim while the histogram is idle.
+	bucketRefs []*SeriesRef
+	sumRef     *SeriesRef
+	countRef   *SeriesRef
+	counts     []int64
+	cums       []float64
+	lastSum    float64
+	lastCount  int64
 }
 
 // NewCollector wires a collector from bus to db. Interval must be
-// positive; it defaults to 0.25 simulated hours.
+// positive; it defaults to 0.25 simulated hours. Delta scraping is on
+// by default.
 func NewCollector(db *DB, bus *telemetry.Bus, interval float64) *Collector {
 	if interval <= 0 {
 		interval = 0.25
 	}
-	return &Collector{db: db, bus: bus, Interval: interval}
+	c := &Collector{
+		db:       db,
+		bus:      bus,
+		Interval: interval,
+		delta:    true,
+		interner: NewInterner(),
+		plans:    map[string]*scrapePlan{},
+		self:     New(db.opts),
+	}
+	c.snapPool.New = func() any { return new([]telemetry.Metric) }
+	return c
 }
 
 // DB returns the store this collector appends into.
 func (c *Collector) DB() *DB { return c.db }
+
+// Self returns the collector's own store for nondeterministic pipeline
+// metrics: tsdb.scrape_duration (seconds, 0 unless a wall clock is set)
+// and telemetry.bus_contention (cumulative contended Emit lockings).
+func (c *Collector) Self() *DB { return c.self }
+
+// SetDelta toggles incremental scraping; false selects the
+// full-snapshot fallback path. Both store byte-identical series.
+func (c *Collector) SetDelta(on bool) {
+	c.mu.Lock()
+	c.delta = on
+	c.mu.Unlock()
+}
+
+// SetWallClock injects the clock used to measure real scrape cost for
+// tsdb.scrape_duration. Leave unset (the default) in deterministic
+// simulations; cmd binaries inject clock.System.
+func (c *Collector) SetWallClock(w clock.Clock) {
+	c.mu.Lock()
+	c.wall = w
+	c.mu.Unlock()
+}
+
+// LastScrapeDuration reports the wall-clock cost of the most recent
+// scrape (0 if no wall clock is set).
+func (c *Collector) LastScrapeDuration() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lastDur
+}
+
+// Interner exposes the collector's label-set intern table (for stats).
+func (c *Collector) Interner() *Interner { return c.interner }
 
 // OnScrape registers fn to run after every scrape (and after the DB has
 // been compacted), on the scraping goroutine. The alert engine hooks in
@@ -61,6 +169,7 @@ func (c *Collector) OnScrape(fn func(now float64)) {
 	}
 	c.mu.Lock()
 	c.onScrape = append(c.onScrape, fn)
+	c.hooksCache = append([]func(now float64){}, c.onScrape...)
 	c.mu.Unlock()
 }
 
@@ -77,42 +186,192 @@ func (c *Collector) Start(clk *simclock.Clock, stop func() bool) *simclock.Event
 		func() { c.Scrape(clk.Now()) }, stop)
 }
 
-// Scrape ingests one bus snapshot at time now, compacts the DB, and runs
-// the scrape hooks. It is safe to call concurrently with bus writers
-// (instrument updates and Emit); series identity makes re-scrapes at the
-// same timestamp updates rather than duplicates.
-func (c *Collector) Scrape(now float64) {
-	snap := c.bus.Snapshot()
-	n := 0
-	for _, m := range snap {
-		base, attrs := telemetry.ParseLabeled(m.Name)
-		labels := LabelsFromAttrs(attrs)
-		for _, bl := range c.Base {
-			labels = labels.With(bl.Key, bl.Value)
+// planFor resolves the scrape plan for one instrument, building it on
+// first sight. bounds is only consulted when a histogram plan is built.
+// Called with c.mu held.
+func (c *Collector) planFor(name, kind string, bounds []float64) *scrapePlan {
+	for p := c.plans[name]; p != nil; p = p.alt {
+		if p.kind == kind {
+			return p
 		}
+	}
+	base, attrs := telemetry.ParseLabeled(name)
+	labels := LabelsFromAttrs(attrs)
+	for _, bl := range c.Base {
+		labels = labels.With(bl.Key, bl.Value)
+	}
+	set := c.interner.Intern(labels)
+	p := &scrapePlan{kind: kind, alt: c.plans[name]}
+	if kind == "histogram" {
+		nb := len(bounds) + 1
+		p.bucketRefs = make([]*SeriesRef, nb)
+		for i := range p.bucketRefs {
+			le := "+Inf"
+			if i < len(bounds) {
+				le = formatBound(bounds[i])
+			}
+			bset := c.interner.Intern(set.Labels().With("le", le))
+			p.bucketRefs[i] = c.db.RefSet(base+"_bucket", bset)
+		}
+		p.sumRef = c.db.RefSet(base+"_sum", set)
+		p.countRef = c.db.RefSet(base+"_count", set)
+		p.counts = make([]int64, 0, nb)
+		p.cums = make([]float64, nb)
+	} else {
+		p.ref = c.db.RefSet(base, set)
+	}
+	c.plans[name] = p
+	return p
+}
+
+// scrapeDelta walks the bus instruments directly (the cached listing is
+// refreshed only when the bus registration generation moves) and
+// replays each plan. Unchanged histograms cost one lock acquisition and
+// zero copies. Returns samples appended. Called with c.mu held.
+func (c *Collector) scrapeDelta(now float64) int {
+	if g := c.bus.Gen(); !c.instsOK || g != c.instGen {
+		c.insts = c.bus.Instruments(c.insts)
+		c.planned = c.planned[:0]
+		for i := range c.insts {
+			inst := &c.insts[i]
+			c.planned = append(c.planned, c.planFor(inst.Name, inst.Kind, inst.Hist.Bounds()))
+		}
+		c.instGen, c.instsOK = g, true
+	}
+	n := 0
+	for i := range c.insts {
+		inst, p := &c.insts[i], c.planned[i]
+		switch inst.Kind {
+		case "counter":
+			c.db.AppendRef(p.ref, now, float64(inst.Counter.Value()))
+			n++
+		case "gauge":
+			c.db.AppendRef(p.ref, now, inst.Gauge.Value())
+			n++
+		case "histogram":
+			counts, sum, total, changed := inst.Hist.SnapshotDelta(p.lastCount, p.counts[:0])
+			if changed {
+				p.counts = counts
+				var cum int64
+				for j, cnt := range counts {
+					cum += cnt
+					p.cums[j] = float64(cum)
+				}
+				p.lastSum, p.lastCount = sum, total
+			}
+			for j, r := range p.bucketRefs {
+				c.db.AppendRef(r, now, p.cums[j])
+			}
+			c.db.AppendRef(p.sumRef, now, p.lastSum)
+			c.db.AppendRef(p.countRef, now, float64(p.lastCount))
+			n += len(p.bucketRefs) + 2
+		}
+	}
+	return n
+}
+
+// scrapeSnapshot is the full-snapshot fallback: one Bus.SnapshotAppend
+// into a pooled buffer, routed through the same plans so the stored
+// bytes match scrapeDelta exactly. Called with c.mu held.
+func (c *Collector) scrapeSnapshot(now float64) int {
+	bufp := c.snapPool.Get().(*[]telemetry.Metric)
+	snap := c.bus.SnapshotAppend((*bufp)[:0])
+	n := 0
+	for i := range snap {
+		m := &snap[i]
 		switch m.Kind {
 		case "histogram":
-			var cum int64
-			for _, bkt := range m.Buckets {
-				cum += bkt.Count
-				c.db.Append(base+"_bucket", labels.With("le", formatBound(bkt.Bound)),
-					now, float64(cum))
-				n++
+			var p *scrapePlan
+			for q := c.plans[m.Name]; q != nil; q = q.alt {
+				if q.kind == m.Kind {
+					p = q
+					break
+				}
 			}
-			c.db.Append(base+"_sum", labels, now, m.Sum)
-			c.db.Append(base+"_count", labels, now, float64(m.Count))
-			n += 2
+			if p == nil {
+				bounds := make([]float64, 0, len(m.Buckets))
+				for _, bkt := range m.Buckets {
+					if !math.IsInf(bkt.Bound, 1) {
+						bounds = append(bounds, bkt.Bound)
+					}
+				}
+				p = c.planFor(m.Name, m.Kind, bounds)
+			}
+			var cum int64
+			for j, bkt := range m.Buckets {
+				cum += bkt.Count
+				p.cums[j] = float64(cum)
+				c.db.AppendRef(p.bucketRefs[j], now, p.cums[j])
+			}
+			c.db.AppendRef(p.sumRef, now, m.Sum)
+			c.db.AppendRef(p.countRef, now, float64(m.Count))
+			// Keep the delta cache coherent so modes can be switched
+			// mid-run without replaying stale values.
+			p.lastSum, p.lastCount = m.Sum, m.Count
+			n += len(m.Buckets) + 2
 		default:
-			c.db.Append(base, labels, now, m.Value)
+			p := c.planFor(m.Name, m.Kind, nil)
+			c.db.AppendRef(p.ref, now, m.Value)
 			n++
 		}
 	}
-	c.db.Compact(now)
+	*bufp = snap[:0]
+	c.snapPool.Put(bufp)
+	return n
+}
+
+// selfRefsLocked lazily builds the self-metric series handles; deferred
+// to the first scrape so Base labels are already configured.
+func (c *Collector) selfRefsLocked() {
+	if c.selfScrapes != nil {
+		return
+	}
+	var base Labels
+	for _, bl := range c.Base {
+		base = base.With(bl.Key, bl.Value)
+	}
+	c.selfScrapes = c.db.Ref("tsdb.scrapes", base)
+	c.selfSamples = c.db.Ref("tsdb.scrape_samples", base)
+	c.selfSeries = c.db.Ref("tsdb.series_count", base)
+	c.selfDropped = c.db.Ref("tsdb.dropped_samples", base)
+	c.selfDur = c.self.Ref("tsdb.scrape_duration", base)
+	c.selfCont = c.self.Ref("telemetry.bus_contention", base)
+}
+
+// Scrape ingests one pass over the bus at time now, compacts the DB,
+// records the pipeline self-metrics, and runs the scrape hooks. It is
+// safe to call concurrently with bus writers (instrument updates and
+// Emit); series identity makes re-scrapes at the same timestamp updates
+// rather than duplicates.
+func (c *Collector) Scrape(now float64) {
 	c.mu.Lock()
+	var start time.Time
+	if c.wall != nil {
+		start = c.wall.Now()
+	}
+	var n int
+	if c.delta {
+		n = c.scrapeDelta(now)
+	} else {
+		n = c.scrapeSnapshot(now)
+	}
+	c.db.Compact(now)
 	c.scrapes++
 	c.samples += int64(n)
-	hooks := make([]func(now float64), len(c.onScrape))
-	copy(hooks, c.onScrape)
+
+	c.selfRefsLocked()
+	c.db.AppendRef(c.selfScrapes, now, float64(c.scrapes))
+	c.db.AppendRef(c.selfSamples, now, float64(c.samples))
+	c.db.AppendRef(c.selfSeries, now, float64(c.db.SeriesCount()))
+	c.db.AppendRef(c.selfDropped, now, float64(c.db.Dropped()))
+	if c.wall != nil {
+		c.lastDur = clock.Since(c.wall, start)
+	}
+	c.self.AppendRef(c.selfDur, now, c.lastDur.Seconds())
+	c.self.AppendRef(c.selfCont, now, float64(c.bus.Contention()))
+	c.self.Compact(now)
+
+	hooks := c.hooksCache
 	c.mu.Unlock()
 	for _, fn := range hooks {
 		fn(now)

@@ -4,7 +4,9 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
@@ -179,5 +181,89 @@ func TestScrapeWhileEmit(t *testing.T) {
 		if pts[i].V < pts[i-1].V {
 			t.Errorf("counter went backwards: %v -> %v", pts[i-1], pts[i])
 		}
+	}
+}
+
+// TestScrapeDeltaMatchesFullSnapshot is the byte-identity cmp gate for
+// incremental scraping: an identical workload scraped through the delta
+// path and through the full-snapshot fallback must produce
+// byte-identical stores — including scrapes where every histogram is
+// idle (pure cached replay) and scrapes where everything churns.
+func TestScrapeDeltaMatchesFullSnapshot(t *testing.T) {
+	run := func(delta bool) string {
+		bus := telemetry.New()
+		c := NewCollector(New(Options{Retention: 24, RawWindow: 2, DownsampleStep: 0.25}), bus, 0.25)
+		c.Base = NewLabels(L("site", "chi"))
+		c.SetDelta(delta)
+		ctr := bus.Counter(telemetry.Labeled("w.ops", telemetry.String("shard", "s0")))
+		g := bus.Gauge("w.depth")
+		h := bus.Histogram("w.lat", []float64{0.001, 0.01, 0.1})
+		for i := 1; i <= 40; i++ {
+			now := 0.25 * float64(i)
+			switch i % 4 {
+			case 0: // everything idle: delta path replays cached values
+			case 1:
+				ctr.Add(int64(i))
+				h.Observe(0.0005 * float64(i%8+1))
+			case 2:
+				g.Set(float64(i))
+			case 3:
+				ctr.Inc()
+				g.Add(-0.5)
+				h.Observe(0.05)
+				h.Observe(99) // overflow bucket
+			}
+			if i == 20 {
+				// Late registration: a new instrument appears mid-run and
+				// must enter both paths at the same scrape.
+				bus.Counter("w.late").Add(7)
+			}
+			c.Scrape(now)
+		}
+		return c.DB().Dump()
+	}
+	a, b := run(true), run(false)
+	if a != b {
+		t.Fatalf("delta scrape diverged from full snapshot:\n--- delta ---\n%s\n--- full ---\n%s", a, b)
+	}
+}
+
+// The collector's deterministic self-metrics land in the main DB (so
+// dashboards can query them); the nondeterministic ones land in the
+// separate self store.
+func TestScrapeSelfMetrics(t *testing.T) {
+	bus := telemetry.New()
+	bus.Counter("c").Add(2)
+	c := NewCollector(New(Options{}), bus, 0.25)
+	mc := clock.NewManual(time.Unix(0, 0))
+	c.SetWallClock(mc)
+	for i := 1; i <= 3; i++ {
+		c.Scrape(0.25 * float64(i))
+	}
+	for name, want := range map[string]float64{
+		"tsdb.scrapes":        3,
+		"tsdb.scrape_samples": 3, // one counter sample per scrape
+	} {
+		v, err := c.DB().Query(name, 0.75)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if vec := v.(Vector); len(vec) != 1 || vec[0].V != want {
+			t.Errorf("%s = %+v, want %v", name, v, want)
+		}
+	}
+	for _, name := range []string{"tsdb.series_count", "tsdb.dropped_samples"} {
+		v, err := c.DB().Query(name, 0.75)
+		if err != nil || len(v.(Vector)) != 1 {
+			t.Errorf("%s missing from main DB: %+v %v", name, v, err)
+		}
+	}
+	for _, name := range []string{"tsdb.scrape_duration", "telemetry.bus_contention"} {
+		if got := c.Self().Select(name, nil); len(got) != 1 || len(got[0].Points) != 3 {
+			t.Errorf("%s: self store has %+v", name, got)
+		}
+	}
+	if got := c.DB().Select("tsdb.scrape_duration", nil); len(got) != 0 {
+		t.Error("nondeterministic scrape_duration leaked into the main DB")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Value is a query result: Scalar, Vector, or Matrix.
@@ -76,10 +77,20 @@ func (db *DB) Eval(e Expr, t float64) (Value, error) {
 }
 
 // evalInstant returns, per matching series, the most recent sample at or
-// before t that is no older than the lookback window.
+// before t that is no older than the lookback window. It reads the
+// store in place under the read lock — no point copies; the returned
+// Labels alias the store, which is safe because series labels are
+// immutable after creation. db.order is key-sorted, so the vector comes
+// out sorted by series identity for free.
 func (db *DB) evalInstant(sel SelectorExpr, t float64) Vector {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out Vector
-	for _, s := range db.Select(sel.Name, sel.Matchers) {
+	for _, key := range db.order {
+		s := db.series[key]
+		if s.Name != sel.Name || !matchAll(sel.Matchers, s.Labels) {
+			continue
+		}
 		i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
 		if i == 0 {
 			continue
@@ -89,6 +100,33 @@ func (db *DB) evalInstant(sel SelectorExpr, t float64) Vector {
 			continue
 		}
 		out = append(out, Sample{Name: s.Name, Labels: s.Labels, V: p.V})
+	}
+	return out
+}
+
+// foldRange evaluates a range function (rate, increase, *_over_time)
+// over each matching series by folding the in-window points in place
+// under the read lock — the window is never copied out of the store.
+func (db *DB) foldRange(fn string, sel SelectorExpr, t float64) Vector {
+	lo := t - sel.Range
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out Vector
+	for _, key := range db.order {
+		s := db.series[key]
+		if s.Name != sel.Name || !matchAll(sel.Matchers, s.Labels) {
+			continue
+		}
+		i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T >= lo })
+		j := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+		if i >= j {
+			continue
+		}
+		v, ok := applyRangeFn(fn, s.Points[i:j], sel.Range)
+		if !ok {
+			continue
+		}
+		out = append(out, Sample{Labels: s.Labels, V: v})
 	}
 	return out
 }
@@ -122,16 +160,7 @@ func (db *DB) evalCall(c CallExpr, t float64) (Value, error) {
 		if !ok || sel.Range <= 0 {
 			return nil, fmt.Errorf("tsdb: %s expects a range selector like name[1h]", c.Fn)
 		}
-		mat := db.evalRange(sel, t)
-		var out Vector
-		for _, s := range mat {
-			v, ok := applyRangeFn(c.Fn, s.Points, sel.Range)
-			if !ok {
-				continue
-			}
-			out = append(out, Sample{Labels: s.Labels, V: v})
-		}
-		return out, nil
+		return db.foldRange(c.Fn, sel, t), nil
 	case "histogram_quantile":
 		if len(c.Args) != 2 {
 			return nil, fmt.Errorf("tsdb: histogram_quantile expects (q, bucket-vector)")
@@ -226,9 +255,11 @@ func histogramQuantile(q float64, vec Vector) Vector {
 		q = 1
 	}
 	type group struct {
-		labels Labels
-		bounds []float64
-		cums   []float64
+		labels   Labels
+		bounds   []float64
+		cums     []float64
+		bp, cp   *[]float64
+		sortable boundSort
 	}
 	groups := map[string]*group{}
 	var order []string
@@ -242,6 +273,9 @@ func histogramQuantile(q float64, vec Vector) Vector {
 		g, exists := groups[key]
 		if !exists {
 			g = &group{labels: rest}
+			g.bp = floatSlicePool.Get().(*[]float64)
+			g.cp = floatSlicePool.Get().(*[]float64)
+			g.bounds, g.cums = (*g.bp)[:0], (*g.cp)[:0]
 			groups[key] = g
 			order = append(order, key)
 		}
@@ -252,8 +286,12 @@ func histogramQuantile(q float64, vec Vector) Vector {
 	var out Vector
 	for _, key := range order {
 		g := groups[key]
-		sort.Sort(&boundSort{g.bounds, g.cums})
+		g.sortable = boundSort{g.bounds, g.cums}
+		sort.Sort(&g.sortable)
 		v, ok := quantileFromCumulative(q, g.bounds, g.cums)
+		*g.bp, *g.cp = g.bounds[:0], g.cums[:0]
+		floatSlicePool.Put(g.bp)
+		floatSlicePool.Put(g.cp)
 		if !ok {
 			continue
 		}
@@ -261,6 +299,11 @@ func histogramQuantile(q float64, vec Vector) Vector {
 	}
 	return out
 }
+
+// floatSlicePool recycles histogram-quantile group buffers (bounds and
+// cumulative counts) across queries — alert rules evaluate quantile
+// expressions every scrape, so these were a steady allocation source.
+var floatSlicePool = sync.Pool{New: func() any { return new([]float64) }}
 
 type boundSort struct {
 	bounds []float64

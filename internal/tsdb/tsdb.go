@@ -78,7 +78,8 @@ type DB struct {
 	series  map[string]*Series // key: name + label signature
 	order   []string           // insertion-independent: kept sorted
 	opts    Options
-	dropped int64 // out-of-order appends rejected
+	dropped int64  // out-of-order appends rejected
+	gen     uint64 // bumped when Compact deletes series; invalidates SeriesRefs
 }
 
 // New returns an empty DB with the given options.
@@ -101,6 +102,10 @@ func (db *DB) Append(name string, labels Labels, t, v float64) {
 	key := name + labels.Signature()
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.appendLocked(db.getOrCreateLocked(key, name, labels), t, v)
+}
+
+func (db *DB) getOrCreateLocked(key, name string, labels Labels) *Series {
 	s, ok := db.series[key]
 	if !ok {
 		s = &Series{Name: name, Labels: labels}
@@ -110,6 +115,10 @@ func (db *DB) Append(name string, labels Labels, t, v float64) {
 		copy(db.order[i+1:], db.order[i:])
 		db.order[i] = key
 	}
+	return s
+}
+
+func (db *DB) appendLocked(s *Series, t, v float64) {
 	if n := len(s.Points); n > 0 {
 		last := s.Points[n-1].T
 		if t < last {
@@ -122,6 +131,50 @@ func (db *DB) Append(name string, labels Labels, t, v float64) {
 		}
 	}
 	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// SeriesRef is a cached append handle for one series: the key string is
+// built once (from an interned signature when obtained via RefSet) and
+// the series pointer is resolved on first append, so the steady-state
+// AppendRef does no map lookup, no sorting, and no string building.
+// A ref is bound to the DB that issued it.
+type SeriesRef struct {
+	name   string
+	labels Labels
+	key    string
+	s      *Series
+	gen    uint64
+}
+
+// Ref returns an append handle for name + labels. Labels must be
+// canonical; the signature is computed once here.
+func (db *DB) Ref(name string, labels Labels) *SeriesRef {
+	return &SeriesRef{name: name, labels: labels, key: name + labels.Signature()}
+}
+
+// RefSet is Ref for an interned label set: the precomputed signature is
+// used directly, so no per-ref signature work happens at all.
+func (db *DB) RefSet(name string, set *LabelSet) *SeriesRef {
+	return &SeriesRef{name: name, labels: set.Labels(), key: name + set.Signature()}
+}
+
+// AppendRef records one sample through a cached handle, with the same
+// ordering semantics as Append. The cached series pointer is revalidated
+// whenever Compact has deleted any series since it was resolved (the DB
+// generation counter), so a ref survives retention deleting and later
+// recreating its series.
+func (db *DB) AppendRef(ref *SeriesRef, t, v float64) {
+	if db == nil || ref == nil {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := ref.s
+	if s == nil || ref.gen != db.gen {
+		s = db.getOrCreateLocked(ref.key, ref.name, ref.labels)
+		ref.s, ref.gen = s, db.gen
+	}
+	db.appendLocked(s, t, v)
 }
 
 // Dropped returns how many out-of-order appends were rejected.
@@ -199,12 +252,19 @@ func (db *DB) Compact(now float64) {
 			dead = append(dead, key)
 			continue
 		}
-		s.Points = append(s.Points[:0:0], pts...)
+		// No copy: retention advances the slice head in place and
+		// downsample returns the input when nothing merges, so the
+		// steady-state Compact (nothing to drop) allocates nothing.
+		// Freed capacity is reclaimed when append growth reallocates.
+		s.Points = pts
 	}
 	for _, key := range dead {
 		delete(db.series, key)
 		i := sort.SearchStrings(db.order, key)
 		db.order = append(db.order[:i], db.order[i+1:]...)
+	}
+	if len(dead) > 0 {
+		db.gen++ // cached SeriesRef pointers must re-resolve
 	}
 }
 
@@ -219,6 +279,16 @@ func downsample(pts []Point, rawCut, step float64) []Point {
 		return pts
 	}
 	old, recent := pts[:split], pts[split:]
+	merge := false
+	for i := 1; i < len(old); i++ {
+		if floorDiv(old[i].T, step) == floorDiv(old[i-1].T, step) {
+			merge = true
+			break
+		}
+	}
+	if !merge {
+		return pts
+	}
 	var out []Point
 	for i := 0; i < len(old); {
 		bucket := floorDiv(old[i].T, step)
