@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race chaos trace slo sim spot check bench benchcheck repro csv examples clean
+.PHONY: build test vet lint race chaos trace slo sim spot logs check bench benchcheck repro csv examples clean
 
 build:
 	$(GO) build ./...
@@ -85,12 +85,34 @@ spot:
 	cmp out/spot_run_a.txt out/spot_run_b.txt
 	@echo "spot: training survival e2e byte-identical across runs"
 
+# Logging + flight-recorder suite: the structured logger, the incident
+# recorder, and the alert-hook plumbing under the race detector (the
+# logger's rings are written from concurrent request paths), then the
+# two deterministic e2e gates: the distributed-training example must
+# export byte-identical incident bundles across same-seed runs, and the
+# spot-training example with the recorder armed (its SLO stays inside
+# budget, so the recorder captures nothing) must be bit-identical to the
+# same run without the recorder.
+logs:
+	$(GO) test -race -count=1 ./internal/logging/ ./internal/flightrec/ ./internal/alert/
+	$(GO) test -race -count=1 -run 'Log|Incident|FilterEvents|Sampler' 		./internal/report/ ./cmd/chameleonctl/
+	@mkdir -p out
+	$(GO) run ./examples/distributed-training -incident out/incident_a.txt > /dev/null
+	$(GO) run ./examples/distributed-training -incident out/incident_b.txt > /dev/null
+	cmp out/incident_a.txt out/incident_b.txt
+	@echo "logs: incident bundle byte-identical across runs"
+	$(GO) run ./examples/spot-training > out/logs_rec_off.txt
+	$(GO) run ./examples/spot-training -recorder > out/logs_rec_on.txt
+	cmp out/logs_rec_off.txt out/logs_rec_on.txt
+	@echo "logs: armed-but-quiet recorder bit-identical to recorder-off"
+
 # Default verification path: compile, static checks (go vet plus the
 # repo's own mlsyslint pass), unit tests, the race-enabled suite (the
 # concurrent batcher/telemetry tests need it), the seeded chaos suite,
 # the tracing suite, the monitoring/SLO suite, the sharded-core
-# determinism gate, then the spot-survival suite.
-check: build vet lint test race chaos trace slo sim spot
+# determinism gate, the spot-survival suite, then the logging/flight-
+# recorder suite.
+check: build vet lint test race chaos trace slo sim spot logs
 
 # Benchmarks: the full `go test -bench` sweep, the monitoring-stack
 # suite via cmd/tsdbbench (BENCH_tsdb.json), the sharded-core
@@ -98,19 +120,24 @@ check: build vet lint test race chaos trace slo sim spot
 # bytes/student at 100k and 1M students), then full-repo lint wall time
 # via cmd/lintbench (BENCH_lint.json: sequential vs parallel loading),
 # and the spot-market suite via cmd/spotbench (BENCH_spot.json: price
-# walk, bill integration, end-to-end survival run).
+# walk, bill integration, end-to-end survival run), and the logging
+# suite via cmd/logbench (BENCH_log.json: emit, sampling, ring merge).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/tsdbbench -o BENCH_tsdb.json
 	$(GO) run ./cmd/simbench -o BENCH_sim.json
 	$(GO) run ./cmd/lintbench -o BENCH_lint.json
 	$(GO) run ./cmd/spotbench -o BENCH_spot.json
+	$(GO) run ./cmd/logbench -o BENCH_log.json
 
-# Allocation-regression gate: re-run the monitoring-stack suite and fail
-# if any benchmark's allocs/op regressed >20% against the committed
-# BENCH_tsdb.json (allocs/op is stable across machines; ns/op is not).
+# Allocation-regression gate: re-run the monitoring-stack and logging
+# suites and fail if any benchmark's allocs/op regressed >20% against
+# the committed BENCH_*.json (allocs/op is stable across machines;
+# ns/op is not). logbench additionally pins the emit path to its hard
+# ≤1 alloc/op contract regardless of baseline.
 benchcheck:
 	$(GO) run ./cmd/tsdbbench -check BENCH_tsdb.json
+	$(GO) run ./cmd/logbench -check BENCH_log.json
 
 # Regenerate every table and figure plus the capacity/support views.
 repro:

@@ -19,10 +19,20 @@
 //	usage                           show metered hours by flavor
 //	quota                           show project quota usage
 //	metrics [-json]                 show telemetry counters/gauges/histograms
-//	events [n] [-component c] [-since t] [-json]
+//	events [n] [-component c] [-since t] [-trace id] [-json]
 //	                                show the n most recent telemetry events
 //	                                (default 20), optionally filtered to a
-//	                                component prefix and a minimum sim time
+//	                                component prefix, a minimum sim time,
+//	                                and a trace-ID prefix
+//	logs [n] [-component c] [-level l] [-trace id] [-since t]
+//	                                show the n most recent log records
+//	                                (default 20) from the structured-log
+//	                                ring buffers, with the same filters
+//	                                plus a minimum level
+//	incidents list                  list flight-recorder incident bundles
+//	incidents show <id>             print one bundle (rule, dashboard,
+//	                                series, logs, traces, faults, spot)
+//	incidents export <id> <file>    write the rendered bundle to a file
 //	query <expr>                    evaluate a PromQL-lite expression against
 //	                                the metrics TSDB at the current sim time
 //	alerts                          show active alerts and the firing timeline
@@ -65,7 +75,9 @@ import (
 	"repro/internal/clock"
 	"repro/internal/cloud"
 	"repro/internal/cost"
+	"repro/internal/flightrec"
 	"repro/internal/lease"
+	"repro/internal/logging"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/serve"
@@ -80,8 +92,13 @@ func main() {
 	log.SetFlags(0)
 	clk := simclock.New()
 	bus := telemetry.New()
+	// Structured logs: the third pillar. Same fixed seed as the tracer,
+	// so sampled log lines replay identically across scripted sessions.
+	logger := logging.New(42, clk.Now)
+	logger.SetTelemetry(bus)
 	cl := cloud.New("kvm@ctl", clk)
 	cl.SetTelemetry(bus)
+	cl.SetLogging(logger)
 	cl.AddVMCapacity(8, 48, 192)
 	// Course-sized quota: the sandbox must fit leased bare-metal GPU
 	// nodes (64 cores each), not just small VMs.
@@ -98,11 +115,16 @@ func main() {
 	// Fixed seed: trace/span IDs are deterministic across sessions, so a
 	// scripted run exports byte-identical Chrome JSON every time.
 	tracer := trace.New(42, clk.Now)
+	// Finished spans land on the bus as "trace.span" events carrying the
+	// trace ID, which is what `events -trace <id>` filters on.
+	tracer.SetTelemetry(bus)
 	ls := lease.New(clk, cl)
 	ls.SetTelemetry(bus)
 	ls.SetTracer(tracer)
+	ls.SetLogging(logger)
 	ls.AddPool(cloud.GPUA100PCIe, 2) // registers the bare-metal hosts too
 	sched.SetTelemetry(bus)
+	sched.SetLogging(logger)
 	// Monitoring: the collector scrapes the bus into the TSDB every 0.25
 	// simulated hours (advance time to accumulate history), and the alert
 	// engine evaluates its rules on every scrape.
@@ -116,6 +138,14 @@ func main() {
 		For: 0, Severity: "page"})
 	coll.OnScrape(eng.Step)
 	coll.Start(clk, nil)
+	// Flight recorder: armed on the HostDown rule (and anything added
+	// later); `fail <host>` then `advance` captures a bundle to browse
+	// with the incidents commands.
+	rec := flightrec.New(flightrec.Config{
+		Engine: eng, DB: db, Logs: logger, Tracer: tracer, Spot: market,
+		Dashboard: func(at float64) string { return report.Dashboard(db, eng, at) },
+	})
+	rec.Arm()
 
 	fmt.Println("chameleonctl — OpenStack-style CLI over the cloud simulator (type 'help')")
 	sc := bufio.NewScanner(os.Stdin)
@@ -136,7 +166,9 @@ func main() {
 			fmt.Println("reserve <start> <end> | sched <policy> <jobs> <gpus> | batch <n> |")
 			fmt.Println("hosts | fail <host> | recover <host> | resilience |")
 			fmt.Println("advance <hours> | usage | quota | metrics [-json] | quit |")
-			fmt.Println("events [n] [-component c] [-since t] [-json] |")
+			fmt.Println("events [n] [-component c] [-since t] [-trace id] [-json] |")
+			fmt.Println("logs [n] [-component c] [-level l] [-trace id] [-since t] |")
+			fmt.Println("incidents list | incidents show <id> | incidents export <id> <file> |")
 			fmt.Println("query <expr> | alerts | slo | dashboard | tsdb stats |")
 			fmt.Println("spot prices [-json] | spot preemptions [-json] | spot preempt <pool> |")
 			fmt.Println("trace list | trace show <query> | trace critical [query] |")
@@ -315,6 +347,7 @@ func main() {
 				return in, nil
 			})
 			b.SetTelemetry(bus)
+			b.SetLogging(logger)
 			root := tracer.StartTrace("api.batch",
 				telemetry.Int("requests", n))
 			var wg sync.WaitGroup
@@ -407,6 +440,7 @@ func main() {
 			}
 		case "events":
 			n, component, since := 20, "", -1.0
+			tracePrefix := ""
 			asJSON := false
 			bad := false
 			for i := 1; i < len(fields); i++ {
@@ -421,6 +455,14 @@ func main() {
 					}
 					i++
 					component = fields[i]
+				case "-trace":
+					if i+1 >= len(fields) {
+						fmt.Println("usage: -trace <id-or-prefix>")
+						bad = true
+						break
+					}
+					i++
+					tracePrefix = fields[i]
 				case "-since":
 					if i+1 >= len(fields) {
 						fmt.Println("usage: -since <sim-hours>")
@@ -453,9 +495,13 @@ func main() {
 			}
 			// Filter over the full history, then keep the n most recent
 			// survivors — so a tight filter still shows n events.
-			evs := report.FilterEvents(bus.Events(0), component, since)
+			evs := report.FilterEvents(bus.Events(0), component, since, tracePrefix)
 			if len(evs) > n {
 				evs = evs[len(evs)-n:]
+			}
+			if len(evs) == 0 && !asJSON {
+				fmt.Println("no events match")
+				break
 			}
 			if asJSON {
 				out, err := report.EventsJSON(evs)
@@ -467,6 +513,57 @@ func main() {
 				break
 			}
 			fmt.Print(report.Events(evs))
+		case "logs":
+			n, component, level, tracePrefix, since, bad := parseLogsArgs(fields[1:])
+			if bad != "" {
+				fmt.Println(bad)
+				break
+			}
+			recs := logging.Filter(logger.Records(0), component, level, tracePrefix, since)
+			if len(recs) > n {
+				recs = recs[len(recs)-n:]
+			}
+			if len(recs) == 0 {
+				fmt.Println("no log records match")
+				break
+			}
+			fmt.Print(logging.Render(recs))
+		case "incidents":
+			if len(fields) < 2 {
+				fmt.Println("usage: incidents list | show <id> | export <id> <file>")
+				break
+			}
+			switch fields[1] {
+			case "list":
+				fmt.Print(report.IncidentList(rec.Incidents()))
+			case "show", "export":
+				if (fields[1] == "show" && len(fields) != 3) || (fields[1] == "export" && len(fields) != 4) {
+					fmt.Println("usage: incidents show <id> | export <id> <file>")
+					break
+				}
+				id, err := strconv.Atoi(fields[2])
+				if err != nil {
+					fmt.Println("bad incident id:", fields[2])
+					break
+				}
+				inc, ok := rec.Incident(id)
+				if !ok {
+					fmt.Printf("no incident #%d (try 'incidents list')\n", id)
+					break
+				}
+				rendered := report.Incident(inc)
+				if fields[1] == "show" {
+					fmt.Print(rendered)
+					break
+				}
+				if err := os.WriteFile(fields[3], []byte(rendered), 0o644); err != nil {
+					fmt.Println(err)
+					break
+				}
+				fmt.Printf("wrote incident #%d (%d bytes) to %s\n", id, len(rendered), fields[3])
+			default:
+				fmt.Printf("unknown incidents subcommand %q\n", fields[1])
+			}
 		case "trace":
 			if len(fields) < 2 {
 				fmt.Println("usage: trace list | show <query> | critical [query] | cost | export <file>")
@@ -593,6 +690,56 @@ func main() {
 		}
 		prompt()
 	}
+}
+
+// parseLogsArgs parses the `logs` command's arguments: an optional
+// positional count plus -component, -level, -trace, and -since flags.
+// A non-empty bad string is the usage error to print.
+func parseLogsArgs(args []string) (n int, component string, level logging.Level, tracePrefix string, since float64, bad string) {
+	n, level, since = 20, logging.LevelDebug, -1
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-component":
+			if i+1 >= len(args) {
+				return 0, "", 0, "", 0, "usage: -component <name>"
+			}
+			i++
+			component = args[i]
+		case "-level":
+			if i+1 >= len(args) {
+				return 0, "", 0, "", 0, "usage: -level <debug|info|warn|error>"
+			}
+			i++
+			lv, ok := logging.ParseLevel(args[i])
+			if !ok {
+				return 0, "", 0, "", 0, "bad level: " + args[i]
+			}
+			level = lv
+		case "-trace":
+			if i+1 >= len(args) {
+				return 0, "", 0, "", 0, "usage: -trace <id-or-prefix>"
+			}
+			i++
+			tracePrefix = args[i]
+		case "-since":
+			if i+1 >= len(args) {
+				return 0, "", 0, "", 0, "usage: -since <sim-hours>"
+			}
+			i++
+			v, err := strconv.ParseFloat(args[i], 64)
+			if err != nil {
+				return 0, "", 0, "", 0, "bad time: " + args[i]
+			}
+			since = v
+		default:
+			v, err := strconv.Atoi(args[i])
+			if err != nil || v < 1 {
+				return 0, "", 0, "", 0, "bad count: " + args[i]
+			}
+			n = v
+		}
+	}
+	return n, component, level, tracePrefix, since, ""
 }
 
 // spotPriceLines renders the spot pool table: pool, occupancy, the

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cloud"
+	"repro/internal/logging"
 )
 
 // Regression test for the maprange lint finding in the `usage` command:
@@ -103,6 +104,34 @@ func TestTsdbStatsLines(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		if again := tsdbStatsLines(8, 392, 47, 0, 12, 153*time.Microsecond, 3); strings.Join(again, "\n") != strings.Join(want, "\n") {
 			t.Fatalf("stats lines unstable: %q", again)
+		}
+	}
+}
+
+func TestParseLogsArgs(t *testing.T) {
+	n, comp, level, tr, since, bad := parseLogsArgs(nil)
+	if bad != "" || n != 20 || comp != "" || level != logging.LevelDebug || tr != "" || since != -1 {
+		t.Fatalf("defaults = (%d,%q,%v,%q,%g,%q)", n, comp, level, tr, since, bad)
+	}
+	n, comp, level, tr, since, bad = parseLogsArgs([]string{
+		"50", "-component", "cloud", "-level", "warn", "-trace", "dead", "-since", "1.5"})
+	if bad != "" {
+		t.Fatalf("parse error: %q", bad)
+	}
+	if n != 50 || comp != "cloud" || level != logging.LevelWarn || tr != "dead" || since != 1.5 {
+		t.Fatalf("parsed = (%d,%q,%v,%q,%g)", n, comp, level, tr, since)
+	}
+	for _, args := range [][]string{
+		{"-level", "loud"},
+		{"-level"},
+		{"-component"},
+		{"-trace"},
+		{"-since", "soon"},
+		{"zero"},
+		{"0"},
+	} {
+		if _, _, _, _, _, bad := parseLogsArgs(args); bad == "" {
+			t.Errorf("parseLogsArgs(%v) accepted bad input", args)
 		}
 	}
 }

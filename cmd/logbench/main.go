@@ -1,0 +1,157 @@
+// Command logbench runs the structured-logging benchmark suite (emit
+// retained/filtered/traced, sampler decisions, ring merge) outside
+// `go test` and writes machine-readable results to BENCH_log.json, so
+// perf regressions in the logging hot paths show up as a diffable
+// artifact.
+//
+// Usage:
+//
+//	go run ./cmd/logbench [-o BENCH_log.json]
+//	go run ./cmd/logbench -check BENCH_log.json
+//
+// With -check, the suite runs and exits non-zero if any benchmark's
+// allocs/op regressed more than 20% against the committed baseline, or
+// if the emit path exceeds its hard ≤1 alloc/op contract (allocs/op is
+// the gate metric because it is stable across machines, unlike ns/op).
+// Nothing is written in check mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"repro/internal/logging/bench"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// emitCeilings is the hard contract independent of any baseline: the
+// retained emit path may allocate at most once (the variadic attr
+// slice) and the filtered path not at all.
+var emitCeilings = map[string]int64{
+	"EmitRetained": 1,
+	"EmitFiltered": 0,
+	"EmitTraced":   1,
+	"SamplerKeep":  0,
+}
+
+func main() {
+	out := flag.String("o", "BENCH_log.json", "output path for the JSON results")
+	check := flag.String("check", "", "baseline JSON to gate against (no output written)")
+	flag.Parse()
+
+	cases := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"EmitRetained", bench.EmitRetained},
+		{"EmitFiltered", bench.EmitFiltered},
+		{"EmitTraced", bench.EmitTraced},
+		{"SamplerKeep", bench.SamplerKeep},
+		{"RecordsMerge", bench.RecordsMerge},
+	}
+	results := make([]result, 0, len(cases))
+	for _, c := range cases {
+		r := testing.Benchmark(c.fn)
+		res := result{
+			Name:        c.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		results = append(results, res)
+		fmt.Printf("%-22s %12d iter  %14.1f ns/op  %8d B/op  %6d allocs/op\n",
+			res.Name, res.Iterations, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp)
+	}
+
+	code := 0
+	for _, r := range results {
+		ceiling, ok := emitCeilings[r.Name]
+		if ok && r.AllocsPerOp > ceiling {
+			fmt.Printf("%-22s FAIL: %d allocs/op breaks the hard ≤%d contract\n",
+				r.Name, r.AllocsPerOp, ceiling)
+			code = 1
+		}
+	}
+
+	if *check != "" {
+		if g := gate(*check, results); g != 0 {
+			code = g
+		}
+		os.Exit(code)
+	}
+	if code != 0 {
+		os.Exit(code)
+	}
+
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logbench: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "logbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// gate compares allocs/op against the baseline file and returns the
+// process exit code. A benchmark fails when it regresses more than 20%
+// AND by more than one absolute alloc — the slack keeps a 1→2 alloc
+// jitter in the unguarded benchmarks from flapping the gate while the
+// hard ceilings above still pin the emit path exactly.
+func gate(path string, results []result) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "logbench: read baseline: %v\n", err)
+		return 1
+	}
+	var baseline []result
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "logbench: parse baseline: %v\n", err)
+		return 1
+	}
+	base := make(map[string]result, len(baseline))
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	code := 0
+	for _, r := range results {
+		b, ok := base[r.Name]
+		if !ok {
+			fmt.Printf("%-22s no baseline (new benchmark), skipping\n", r.Name)
+			continue
+		}
+		limit := float64(b.AllocsPerOp) * 1.2
+		if float64(r.AllocsPerOp) > limit && r.AllocsPerOp > b.AllocsPerOp+1 {
+			fmt.Printf("%-22s FAIL: %d allocs/op vs baseline %d (>20%% regression)\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp)
+			code = 1
+		} else {
+			fmt.Printf("%-22s ok: %d allocs/op vs baseline %d\n",
+				r.Name, r.AllocsPerOp, b.AllocsPerOp)
+		}
+		delete(base, r.Name)
+	}
+	if len(base) > 0 {
+		names := make([]string, 0, len(base))
+		for name := range base {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("note: baseline entries with no current benchmark: %v\n", names)
+	}
+	return code
+}

@@ -23,22 +23,33 @@
 //     forces an evacuation (and resolves once the window drains), and a
 //     training-step SLO scorecard shows the error budget the outage
 //     burned — all at byte-identical timestamps for the fixed seed.
+//  8. Record the incident: a structured logger on the sim clock collects
+//     every state transition the counters summarize, and the flight
+//     recorder — armed on the alert engine — captures a deterministic
+//     incident bundle the instant PodRescheduleSlow fires (rule, label
+//     set, dashboard snapshot, TSDB window, logs, top-cost traces, and
+//     the chaos faults in force). `-incident <file>` exports the bundle;
+//     the `make logs` gate cmp's two exports byte-for-byte.
 //
-// Run with: go run ./examples/distributed-training
+// Run with: go run ./examples/distributed-training [-incident bundle.txt]
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"strings"
 
 	"repro/internal/alert"
 	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/collective"
+	"repro/internal/flightrec"
 	"repro/internal/jobs"
+	"repro/internal/logging"
 	"repro/internal/orchestrator"
 	"repro/internal/report"
 	"repro/internal/simclock"
@@ -52,6 +63,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	incidentPath := flag.String("incident", "", "export the first captured incident bundle to this file")
+	flag.Parse()
 	model := train.Llama13B()
 
 	// --- 1. Single-GPU memory planning ----------------------------------
@@ -193,10 +206,18 @@ func main() {
 	// Seeded tracer: every run of this example produces byte-identical
 	// span trees and Chrome exports.
 	tracer := trace.New(7, clk.Now)
+	// Structured logger on the same sim clock: the third pillar. Only the
+	// clock-driven subsystems log (cloud, orchestrator, chaos) — the
+	// tuning pool above runs real goroutines whose interleaving is not
+	// seeded, and deterministic log order is the contract here.
+	logger := logging.New(7, clk.Now)
+	logger.SetTelemetry(bus)
+	cl.SetLogging(logger)
 	orch := orchestrator.NewCluster()
 	orch.SetClock(clk)
 	orch.SetTelemetry(bus)
 	orch.SetTracer(tracer)
+	orch.SetLogging(logger)
 	var workers []*cloud.Instance
 	for i := 0; i < 3; i++ {
 		inst, err := cl.Launch(cloud.LaunchSpec{Project: "mlops",
@@ -220,6 +241,7 @@ func main() {
 	}
 	eng := chaos.New(clk, bus)
 	eng.SetHostFailer(cl)
+	eng.SetLogging(logger)
 	eng.Arm(chaos.Plan{Seed: 7, Faults: []chaos.Fault{
 		{At: 2.5, Kind: chaos.KindHostCrash, Target: victimHost, Duration: 2},
 		{At: 2.5, Kind: chaos.KindRankFail, Target: "2", Duration: 2},
@@ -251,6 +273,19 @@ func main() {
 	mon.OnTransition(func(tr alert.Transition) {
 		fmt.Printf("  t=%.2fh: alert %s %s -> %s\n", tr.At, tr.Rule, tr.From, tr.To)
 	})
+	// Flight recorder: armed on the same engine, it captures the incident
+	// bundle the instant PodRescheduleSlow goes pending->firing.
+	rec := flightrec.New(flightrec.Config{
+		Engine: mon,
+		DB:     coll.DB(),
+		Logs:   logger,
+		Tracer: tracer,
+		Chaos:  eng,
+		Dashboard: func(at float64) string {
+			return report.Dashboard(coll.DB(), mon, at)
+		},
+	})
+	rec.Arm()
 	coll.OnScrape(mon.Step)
 	// Heartbeat: one training step per trainer pod per tick, marked
 	// missed while the pod sits on a dead node — the SLO's raw material.
@@ -333,6 +368,32 @@ func main() {
 	fmt.Print(report.Alerts(mon.Active(), mon.Timeline()))
 	if errs := mon.Errors(); len(errs) > 0 {
 		log.Fatalf("alert rules reported errors: %v", errs)
+	}
+
+	// --- 8. The flight recorder's incident bundle ------------------------
+	fmt.Println("\n== Flight recorder: the incident as evidence ==")
+	incidents := rec.Incidents()
+	fmt.Print(report.IncidentList(incidents))
+	if len(incidents) == 0 {
+		log.Fatal("FAIL: the reschedule alert fired but no incident was captured")
+	}
+	fmt.Printf("  bundle #%d: %d series, %d log lines, %d trace(s), %d active fault(s) in window [%.2fh, %.2fh]\n",
+		incidents[0].ID, len(incidents[0].Series), len(incidents[0].Logs),
+		len(incidents[0].Traces), len(incidents[0].Faults),
+		incidents[0].WindowFrom, incidents[0].WindowTo)
+	recs := incidents[0].Logs
+	if len(recs) > 5 {
+		recs = recs[len(recs)-5:]
+	}
+	fmt.Printf("  last %d log lines before the page:\n", len(recs))
+	for _, line := range strings.Split(strings.TrimRight(logging.Render(recs), "\n"), "\n") {
+		fmt.Printf("    %s\n", line)
+	}
+	if *incidentPath != "" {
+		bundle := report.Incident(incidents[0])
+		check(os.WriteFile(*incidentPath, []byte(bundle), 0o644))
+		fmt.Printf("  exported incident #%d (%d bytes) to %s\n",
+			incidents[0].ID, len(bundle), *incidentPath)
 	}
 }
 

@@ -22,19 +22,28 @@
 //     self-check every survival invariant. Output is byte-identical
 //     across runs for the fixed seed (the `make spot` gate diffs two).
 //
-// Run with: go run ./examples/spot-training
+// Every subsystem also logs through the seeded structured logger, and
+// `-recorder` arms the incident flight recorder on the alert engine.
+// The kept-steps SLO stays inside budget here, so the recorder never
+// captures — and an armed-but-quiet recorder is bit-identical to no
+// recorder at all (the `make logs` gate diffs the two stdouts).
+//
+// Run with: go run ./examples/spot-training [-recorder]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
 
 	"repro/internal/alert"
+	"repro/internal/flightrec"
 	"repro/internal/chaos"
 	"repro/internal/cloud"
 	"repro/internal/collective"
 	"repro/internal/cost"
+	"repro/internal/logging"
 	"repro/internal/objectstore"
 	"repro/internal/orchestrator"
 	"repro/internal/report"
@@ -56,6 +65,8 @@ const (
 
 func main() {
 	log.SetFlags(0)
+	useRecorder := flag.Bool("recorder", false, "arm the incident flight recorder (quiet here: it must not change the output)")
+	flag.Parse()
 	model := train.Llama13B()
 
 	// --- 1. Checkpoint model --------------------------------------------
@@ -94,6 +105,9 @@ func main() {
 	cl := cloud.New("spot-site", clk)
 	cl.SetTelemetry(bus)
 	tracer := trace.New(seed, clk.Now)
+	logger := logging.New(seed, clk.Now)
+	logger.SetTelemetry(bus)
+	cl.SetLogging(logger)
 	cl.AddBareMetal(3, cloud.GPUA100PCIe)
 	cl.AddBareMetal(4, cloud.ComputeLiqid)
 	cl.CreateProject("mlops", cloud.Quota{Instances: 100, Cores: 10000, RAMGB: 100000})
@@ -122,6 +136,7 @@ func main() {
 	})
 	eng := chaos.New(clk, bus)
 	eng.SetPreempter(m)
+	eng.SetLogging(logger)
 	armed := eng.Arm(plan)
 	fmt.Printf("\n== Chaos plan: %d preemption fault(s) over %.0fh ==\n", armed, horizon)
 
@@ -133,6 +148,7 @@ func main() {
 	tc.SetObjectStore(store)
 	tc.SetTelemetry(bus)
 	tc.SetTracer(tracer)
+	tc.SetLogging(logger)
 	targets := []orchestrator.TrainTarget{
 		{Flavor: cloud.ComputeLiqid, StepHours: 2.5 * loraStep},
 		{Flavor: cloud.GPUA100PCIe, StepHours: fullStep},
@@ -157,10 +173,31 @@ func main() {
 	mon.AddSLO(alert.SLO{Name: "kept-steps", Objective: 0.90,
 		Good:  `orchestrator.train_steps{outcome="kept"}`,
 		Total: "orchestrator.train_steps", Window: horizon})
+	var rec *flightrec.Recorder
+	if *useRecorder {
+		rec = flightrec.New(flightrec.Config{
+			Engine: mon,
+			DB:     coll.DB(),
+			Logs:   logger,
+			Tracer: tracer,
+			Chaos:  eng,
+			Spot:   m,
+			Dashboard: func(at float64) string {
+				return report.Dashboard(coll.DB(), mon, at)
+			},
+		})
+		rec.Arm()
+	}
 	coll.OnScrape(mon.Step)
 	coll.Start(clk, func() bool { return clk.Now() >= horizon })
 
 	clk.Run()
+
+	// An armed recorder on a within-budget run must capture nothing;
+	// anything else would make the -recorder run observable.
+	if rec != nil && rec.Captures() != 0 {
+		log.Fatalf("FAIL: kept-steps stayed inside budget but the recorder captured %d incident(s)", rec.Captures())
+	}
 
 	// --- 6. Scorecard and invariants --------------------------------------
 	fmt.Println("\n== Jobs ==")

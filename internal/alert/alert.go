@@ -104,7 +104,7 @@ type Engine struct {
 	timeline []Transition
 	steps    int64
 	errs     []string // rule-evaluation errors, deterministic order
-	onTrans  func(Transition)
+	onTrans  []func(Transition)
 }
 
 // NewEngine returns an engine bound to db with no rules.
@@ -140,8 +140,11 @@ func (e *Engine) SLOs() []SLO {
 
 // OnTransition registers a hook called synchronously for every state
 // transition, in the deterministic order they are recorded — live
-// narration for examples and notification fan-out for callers.
-func (e *Engine) OnTransition(fn func(Transition)) { e.onTrans = fn }
+// narration for examples, notification fan-out, and the incident flight
+// recorder. Hooks may be registered by multiple subscribers; for each
+// transition they run in registration order, and each transition is
+// delivered to each hook exactly once.
+func (e *Engine) OnTransition(fn func(Transition)) { e.onTrans = append(e.onTrans, fn) }
 
 // Steps returns how many evaluations have run.
 func (e *Engine) Steps() int64 { return e.steps }
@@ -238,8 +241,8 @@ func (e *Engine) applyRule(name, severity string, forDur float64, vec tsdb.Vecto
 func (e *Engine) transition(at float64, rule string, labels tsdb.Labels, from, to State, v float64) {
 	tr := Transition{At: at, Rule: rule, Labels: labels, From: from, To: to, Value: v}
 	e.timeline = append(e.timeline, tr)
-	if e.onTrans != nil {
-		e.onTrans(tr)
+	for _, fn := range e.onTrans {
+		fn(tr)
 	}
 }
 

@@ -97,3 +97,30 @@ func FireAndForgetOK(t *Tracer) {
 	s := t.StartTrace("background")
 	s.Annotate("k", "v")
 }
+
+// component mirrors repro/internal/logging.Component: *T log methods
+// take an open span for trace correlation but never close it.
+type component struct{}
+
+func (c *component) WarnT(s *Span, msg string)  {}
+func (c *component) InfoT(s *Span, msg string)  {}
+func (c *component) ErrorT(s *Span, msg string) {}
+
+// LogCorrelatedEscape passes the span to a log call: like any other
+// call argument, that is an ownership escape, so the check stays quiet
+// even though nothing here finishes the span. Correlated logging is not
+// finishing — the leak is just beyond the per-function analysis, which
+// is exactly why the *T methods are documented as borrow-only.
+func LogCorrelatedEscape(t *Tracer, c *component) {
+	s := t.StartTrace("capture")
+	c.WarnT(s, "preemption notice")
+}
+
+// LogCorrelatedOK is the incident-capture shape: open the span, leave
+// correlated log lines along the way, finish at the capture instant.
+func LogCorrelatedOK(t *Tracer, c *component) {
+	s := t.StartTrace("capture")
+	c.InfoT(s, "window resolved")
+	c.ErrorT(s, "bundle sealed")
+	s.FinishAt(3.5)
+}

@@ -32,3 +32,26 @@ func fine() time.Time {
 	var t time.Time
 	return t.Add(d)
 }
+
+// logger mirrors repro/internal/logging.Logger: timestamps come from an
+// injected now func, so the constructor decides which clock the log
+// stream runs on.
+type logger struct{ now func() float64 }
+
+func newLogger(seed uint64, now func() float64) *logger { return &logger{now: now} }
+
+// badLoggerClock backs the log stream with the machine clock — every
+// record timestamp becomes wall time, so same-seed runs render
+// different bytes and the incident-bundle cmp gate fails.
+func badLoggerClock() *logger {
+	return newLogger(7, func() float64 {
+		return float64(time.Now().UnixNano()) / 3.6e12 // want `time\.Now reads the machine clock`
+	})
+}
+
+// fineLoggerClock feeds the logger sim time: a closure over virtual
+// hours, the pattern every instrumented subsystem uses.
+func fineLoggerClock() *logger {
+	now := 0.0
+	return newLogger(7, func() float64 { return now })
+}

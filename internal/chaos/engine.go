@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/logging"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 )
@@ -56,6 +57,7 @@ type VolumeFault struct {
 type Engine struct {
 	clk *simclock.Clock
 	tel *telemetry.Bus
+	log *logging.Component // "chaos" stream; nil no-ops
 
 	mu    sync.Mutex
 	hosts HostFailer
@@ -68,6 +70,16 @@ type Engine struct {
 	injected    int64
 	recovered   int64
 	injectFails int64
+	live        []ActiveFault
+}
+
+// ActiveFault is one currently-applied fault: the plan entry plus the
+// instant it was actually injected. The flight recorder snapshots these
+// into incident bundles, so an operator reading a bundle sees which
+// faults were in force when the alert fired.
+type ActiveFault struct {
+	Fault      Fault
+	InjectedAt float64
 }
 
 // New returns an engine bound to the simulation clock. tel may be nil.
@@ -78,6 +90,14 @@ func New(clk *simclock.Clock, tel *telemetry.Bus) *Engine {
 		vols:  map[string]VolumeFault{},
 		ranks: map[int]bool{},
 	}
+}
+
+// SetLogging attaches the structured logger; every injection, failed
+// injection, and recovery leaves a "chaos" log line. Call before Arm.
+func (e *Engine) SetLogging(lg *logging.Logger) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log = lg.Component("chaos")
 }
 
 // SetHostFailer registers the target for host-crash faults.
@@ -167,6 +187,7 @@ func (e *Engine) inject(f Fault) {
 		e.injectFails++
 	} else {
 		e.injected++
+		e.live = append(e.live, ActiveFault{Fault: f, InjectedAt: e.clk.Now()})
 	}
 	e.mu.Unlock()
 	if err != nil {
@@ -178,6 +199,10 @@ func (e *Engine) inject(f Fault) {
 			telemetry.String("target", f.Target),
 			telemetry.String("error", err.Error()),
 			telemetry.Float("t", e.clk.Now()))
+		e.log.Warn("fault injection failed",
+			logging.Str("kind", f.Kind.String()),
+			logging.Str("target", f.Target),
+			logging.Str("error", err.Error()))
 		return
 	}
 	e.tel.Counter("chaos.injected").Inc()
@@ -187,6 +212,10 @@ func (e *Engine) inject(f Fault) {
 		telemetry.Float("duration", f.Duration),
 		telemetry.Float("magnitude", f.Magnitude),
 		telemetry.Float("t", e.clk.Now()))
+	e.log.Warn("fault injected",
+		logging.Str("kind", f.Kind.String()),
+		logging.Str("target", f.Target),
+		logging.Float("duration", f.Duration))
 }
 
 // recover clears one fault when its Duration elapses.
@@ -233,6 +262,12 @@ func (e *Engine) recover(f Fault) {
 	}
 	if err == nil {
 		e.recovered++
+		for i := range e.live {
+			if e.live[i].Fault.At == f.At && e.live[i].Fault.Kind == f.Kind && e.live[i].Fault.Target == f.Target {
+				e.live = append(e.live[:i], e.live[i+1:]...)
+				break
+			}
+		}
 	}
 	e.mu.Unlock()
 	if err != nil {
@@ -249,6 +284,9 @@ func (e *Engine) recover(f Fault) {
 		telemetry.String("kind", f.Kind.String()),
 		telemetry.String("target", f.Target),
 		telemetry.Float("t", e.clk.Now()))
+	e.log.Info("fault recovered",
+		logging.Str("kind", f.Kind.String()),
+		logging.Str("target", f.Target))
 }
 
 // Link returns the current fault on a named link (zero value = healthy).
@@ -290,6 +328,15 @@ func (e *Engine) DeadRanks() []int {
 		}
 	}
 	return out
+}
+
+// Active returns the currently-applied faults (injected, not yet
+// recovered) in injection order. Faults without a Duration never
+// recover, so they stay in this view for the rest of the run.
+func (e *Engine) Active() []ActiveFault {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]ActiveFault(nil), e.live...)
 }
 
 // Stats returns lifetime injection counts: applied faults, recoveries,

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/logging"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -54,7 +55,9 @@ type Cloud struct {
 
 	spot *SpotMarket // nil until EnableSpot
 
-	tel *telemetry.Bus // nil disables instrumentation
+	tel    *telemetry.Bus     // nil disables instrumentation
+	logger *logging.Logger    // nil disables structured logs
+	log    *logging.Component // "cloud" stream; nil no-ops
 
 	nextID  int
 	nextFIP int
@@ -97,6 +100,21 @@ func (c *Cloud) SetTelemetry(b *telemetry.Bus) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tel = b
+}
+
+// SetLogging attaches the structured logger: instance lifecycle, host
+// failures, and spot-market reclaims leave queryable log lines on the
+// "cloud" and "spot" components. Call before concurrent use; a nil
+// logger (or never calling this) disables logging with no branches at
+// the call sites.
+func (c *Cloud) SetLogging(lg *logging.Logger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.logger = lg
+	c.log = lg.Component("cloud")
+	if c.spot != nil {
+		c.spot.log = lg.Component("spot")
+	}
 }
 
 // SetPlacer replaces the placement policy.
@@ -202,6 +220,9 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 			telemetry.String("project", spec.Project),
 			telemetry.String("flavor", spec.Flavor.Name),
 			telemetry.String("reason", err.Error()))
+		c.log.WarnT(span, "launch rejected: quota",
+			logging.Str("project", spec.Project),
+			logging.Str("flavor", spec.Flavor.Name))
 		span.Annotate(telemetry.String("error", err.Error()))
 		return nil, err
 	}
@@ -236,6 +257,9 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 		c.tel.Emit("cloud.capacity.reject",
 			telemetry.String("project", spec.Project),
 			telemetry.String("flavor", spec.Flavor.Name))
+		c.log.WarnT(span, "launch rejected: no capacity",
+			logging.Str("project", spec.Project),
+			logging.Str("flavor", spec.Flavor.Name))
 		err := fmt.Errorf("%w (flavor %s)", ErrNoCapacity, spec.Flavor.Name)
 		span.Annotate(telemetry.String("error", err.Error()))
 		return nil, err
@@ -307,6 +331,10 @@ func (c *Cloud) Launch(spec LaunchSpec) (*Instance, error) {
 		telemetry.String("project", spec.Project),
 		telemetry.String("flavor", spec.Flavor.Name),
 		telemetry.Float("t", c.clock.Now()))
+	c.log.InfoT(span, "instance active",
+		logging.Str("id", inst.ID),
+		logging.Str("flavor", spec.Flavor.Name),
+		logging.Str("host", host.Name))
 	return inst, nil
 }
 
@@ -388,6 +416,10 @@ func (c *Cloud) deleteLocked(instanceID string) error {
 		telemetry.String("flavor", inst.Flavor.Name),
 		telemetry.Float("hours", inst.DeletedAt-inst.LaunchedAt),
 		telemetry.Float("t", c.clock.Now()))
+	c.log.Info("instance deleted",
+		logging.Str("id", inst.ID),
+		logging.Str("flavor", inst.Flavor.Name),
+		logging.Float("hours", inst.DeletedAt-inst.LaunchedAt))
 	return nil
 }
 

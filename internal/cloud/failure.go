@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/logging"
 	"repro/internal/telemetry"
 )
 
@@ -48,6 +49,9 @@ func (c *Cloud) FailHost(name string) error {
 		telemetry.String("host", name),
 		telemetry.Int("instances_lost", len(ids)),
 		telemetry.Float("t", c.clock.Now()))
+	c.log.Error("host crashed",
+		logging.Str("host", name),
+		logging.Int("instances_lost", len(ids)))
 	return nil
 }
 
@@ -70,6 +74,7 @@ func (c *Cloud) RecoverHost(name string) error {
 	c.tel.Emit("cloud.host.recover",
 		telemetry.String("host", name),
 		telemetry.Float("t", c.clock.Now()))
+	c.log.Info("host recovered", logging.Str("host", name))
 	return nil
 }
 
@@ -152,6 +157,10 @@ func (c *Cloud) failInstanceLocked(inst *Instance, reason string) {
 		telemetry.String("reason", reason),
 		telemetry.Float("hours", inst.FailedAt-inst.LaunchedAt),
 		telemetry.Float("t", now))
+	c.log.Warn("instance errored",
+		logging.Str("id", inst.ID),
+		logging.Str("flavor", inst.Flavor.Name),
+		logging.Str("reason", reason))
 }
 
 // hostLocked finds a host by name (nil if absent).

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/cost"
+	"repro/internal/logging"
 	"repro/internal/telemetry"
 )
 
@@ -72,6 +73,8 @@ type SpotMarket struct {
 	preempts int64 // notices issued
 	reclaims int64 // instances actually reclaimed (still running at deadline)
 	vacated  int64 // instances gone by the deadline (migrated in time)
+
+	log *logging.Component // "spot" stream; nil no-ops
 }
 
 // EnableSpot attaches a spot market that issues noticeHours of advance
@@ -87,6 +90,7 @@ func (c *Cloud) EnableSpot(noticeHours float64) *SpotMarket {
 			pools:       map[string]*SpotPool{},
 			poolOf:      map[string]string{},
 			noticed:     map[string]bool{},
+			log:         c.logger.Component("spot"),
 		}
 	}
 	return c.spot
@@ -115,6 +119,10 @@ func (m *SpotMarket) AddPool(f Flavor, capacity int, series cost.SpotPriceSeries
 	c.tel.Gauge(priceGauge).Set(series.RateAt(now))
 	c.tel.Gauge(telemetry.Labeled("cloud.spot_capacity",
 		telemetry.String("pool", f.Name))).Set(float64(capacity))
+	// Price re-sets are the market's highest-rate path (one clock event
+	// per segment across the whole horizon); the debug log line is
+	// seeded-sampled so the stream stays readable and deterministic.
+	priceSampler := c.logger.Sampler("spot/price "+f.Name, 0.25)
 	for _, seg := range series.Segments {
 		if seg.Start <= now {
 			continue
@@ -128,8 +136,17 @@ func (m *SpotMarket) AddPool(f Flavor, capacity int, series cost.SpotPriceSeries
 				telemetry.String("pool", f.Name),
 				telemetry.Float("per_hour", seg.PerHour),
 				telemetry.Float("t", c.clock.Now()))
+			if priceSampler.Keep() {
+				m.log.Debug("spot price change",
+					logging.Str("pool", f.Name),
+					logging.Float("per_hour", seg.PerHour))
+			}
 		})
 	}
+	m.log.Info("spot pool added",
+		logging.Str("pool", f.Name),
+		logging.Int("capacity", capacity),
+		logging.Float("per_hour", series.RateAt(now)))
 	c.tel.Emit("cloud.spot.pool",
 		telemetry.String("pool", f.Name),
 		telemetry.Int("capacity", capacity),
@@ -186,6 +203,10 @@ func (m *SpotMarket) Preempt(pool string) error {
 				telemetry.String("id", notice.InstanceID),
 				telemetry.Float("reclaim_at", notice.ReclaimAt),
 				telemetry.Float("t", now))
+			m.log.Warn("spot preemption notice",
+				logging.Str("pool", pool),
+				logging.Str("id", notice.InstanceID),
+				logging.Float("reclaim_at", notice.ReclaimAt))
 			id := inst.ID
 			c.clock.At(notice.ReclaimAt, "cloud.spot_reclaim "+id, func() {
 				m.reclaim(id, pool)
@@ -269,6 +290,9 @@ func (m *SpotMarket) reclaim(id, pool string) {
 			telemetry.String("id", id),
 			telemetry.String("outcome", "reclaimed"),
 			telemetry.Float("t", now))
+		m.log.Warn("spot instance reclaimed while running",
+			logging.Str("pool", pool),
+			logging.Str("id", id))
 		return
 	}
 	m.vacated++
@@ -278,6 +302,9 @@ func (m *SpotMarket) reclaim(id, pool string) {
 		telemetry.String("id", id),
 		telemetry.String("outcome", "vacated"),
 		telemetry.Float("t", now))
+	m.log.Info("spot instance vacated before deadline",
+		logging.Str("pool", pool),
+		logging.Str("id", id))
 }
 
 // releaseInstanceLocked unbinds a spot instance from its pool when it

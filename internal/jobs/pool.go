@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/logging"
 	"repro/internal/resilience"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -57,6 +58,7 @@ type Pool struct {
 	wg     sync.WaitGroup
 	closed bool
 	tel    *telemetry.Bus
+	log    *logging.Component // "jobs" stream; nil no-ops
 	// retry policy (resilience.Retrier); nil backoff retries immediately
 	// and nil sleep records delays without waiting — the deterministic
 	// simulation default.
@@ -125,6 +127,21 @@ func (p *Pool) telemetry() *telemetry.Bus {
 	return p.tel
 }
 
+// SetLogging attaches the structured logger; retries and failed tasks
+// leave "jobs" log lines (successes stay silent — the executed counter
+// already tells that story). Call before the first Submit.
+func (p *Pool) SetLogging(lg *logging.Logger) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.log = lg.Component("jobs")
+}
+
+func (p *Pool) logStream() *logging.Component {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.log
+}
+
 func (p *Pool) worker() {
 	defer p.wg.Done()
 	idleSince := p.clk.Now()
@@ -149,6 +166,9 @@ func (p *Pool) worker() {
 				telemetry.Int("attempt", attempts),
 				telemetry.Float("backoff_ms", float64(delay)/float64(time.Millisecond)),
 				telemetry.String("error", err.Error()))
+			p.logStream().WarnT(sub.span, "task attempt failed",
+				logging.Int("attempt", attempts),
+				logging.Str("error", err.Error()))
 		}
 		r := resilience.Retrier{
 			Budget:  p.MaxRetries + 1,
@@ -195,6 +215,9 @@ func (p *Pool) worker() {
 		sub.span.Annotate(telemetry.Int("attempts", res.Attempts))
 		if res.Err != nil {
 			sub.span.Annotate(telemetry.String("error", res.Err.Error()))
+			p.logStream().ErrorT(sub.span, "task failed: retry budget exhausted",
+				logging.Int("attempts", res.Attempts),
+				logging.Str("error", res.Err.Error()))
 		}
 		sub.span.Finish()
 		sub.out <- res

@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/cloud"
+	"repro/internal/logging"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -85,6 +86,7 @@ type Service struct {
 	cloud  *cloud.Cloud   // optional: enables auto launch/terminate
 	tel    *telemetry.Bus // nil disables instrumentation
 	tracer *trace.Tracer  // nil disables tracing
+	log    *logging.Component // "lease" stream; nil no-ops
 	pools  map[string]*pool
 	all    map[string]*Reservation
 	nextID int
@@ -104,6 +106,15 @@ func (s *Service) SetTelemetry(b *telemetry.Bus) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tel = b
+}
+
+// SetLogging attaches the structured logger: bookings, rejections, and
+// the reservation lifecycle leave queryable "lease" log lines. Call
+// before concurrent use.
+func (s *Service) SetLogging(lg *logging.Logger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = lg.Component("lease")
 }
 
 // SetTracer attaches a tracer: every booking becomes a trace
@@ -174,6 +185,10 @@ func (s *Service) bookLocked(spec Spec) (*Reservation, error) {
 			telemetry.String("node_type", spec.NodeType),
 			telemetry.String("user", spec.User),
 			telemetry.String("reason", err.Error()))
+		s.log.Warn("booking rejected",
+			logging.Str("node_type", spec.NodeType),
+			logging.Str("user", spec.User),
+			logging.Str("reason", err.Error()))
 		return nil, err
 	}
 	s.tel.Counter("lease.bookings").Inc()
@@ -188,6 +203,11 @@ func (s *Service) bookLocked(spec Spec) (*Reservation, error) {
 		telemetry.String("user", r.User),
 		telemetry.Float("start", r.Start),
 		telemetry.Float("end", r.End))
+	s.log.InfoT(r.span, "reservation booked",
+		logging.Str("id", r.ID),
+		logging.Str("node", r.Node),
+		logging.Float("start", r.Start),
+		logging.Float("end", r.End))
 	return r, nil
 }
 
@@ -285,6 +305,10 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 				telemetry.String("node", r.Node),
 				telemetry.String("reason", err.Error()),
 				telemetry.Float("t", s.clock.Now()))
+			s.log.ErrorT(span, "reserved node failed to activate",
+				logging.Str("id", r.ID),
+				logging.Str("node", r.Node),
+				logging.Str("reason", err.Error()))
 			now := s.clock.Now()
 			waitSpan.Annotate(telemetry.String("error", err.Error()))
 			waitSpan.FinishAt(now)
@@ -307,6 +331,10 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 			telemetry.String("node", r.Node),
 			telemetry.String("instance", inst.ID),
 			telemetry.Float("t", s.clock.Now()))
+		s.log.InfoT(active, "reservation active",
+			logging.Str("id", r.ID),
+			logging.Str("node", r.Node),
+			logging.Str("instance", inst.ID))
 		// Automatic termination at reservation end: the defining
 		// difference from on-demand instances.
 		s.cloud.DeleteAt(inst.ID, r.End)
@@ -324,6 +352,9 @@ func (s *Service) scheduleLifecycleLocked(r *Reservation) {
 				telemetry.String("node", r.Node),
 				telemetry.String("instance", inst.ID),
 				telemetry.Float("t", s.clock.Now()))
+			s.log.Info("reservation expired",
+				logging.Str("id", r.ID),
+				logging.Str("node", r.Node))
 			active.FinishAt(s.clock.Now())
 			root.FinishAt(s.clock.Now())
 		})

@@ -1,0 +1,102 @@
+// Package bench holds the logging benchmark bodies shared by the
+// `go test -bench` wrappers and cmd/logbench (which runs them via
+// testing.Benchmark and writes BENCH_log.json). Keeping the bodies in a
+// plain package means both entry points measure exactly the same code.
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/logging"
+	"repro/internal/trace"
+)
+
+// EmitRetained measures the hot emit path every instrumented subsystem
+// pays per state transition: level check, sequence stamp, ring-slot
+// write, counter bump. The contract is ≤1 alloc/op — the variadic attr
+// slice is the only allocation the fast path may make.
+func EmitRetained(b *testing.B) {
+	now := 0.0
+	lg := logging.New(1, func() float64 { return now })
+	c := lg.Component("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Info("instance active",
+			logging.Str("id", "inst-000042"),
+			logging.Str("flavor", "m1.xlarge"),
+			logging.Int("attempt", 1))
+	}
+}
+
+// EmitFiltered measures a record dropped by the level gate — the price
+// of leaving Debug lines in hot code. The contract is 0 allocs/op: the
+// gate must run before any attr work.
+func EmitFiltered(b *testing.B) {
+	now := 0.0
+	lg := logging.New(1, func() float64 { return now }) // min level Info
+	c := lg.Component("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Debug("spot price change", logging.Float("per_hour", 1.25))
+	}
+}
+
+// EmitTraced measures the correlated path: emit plus trace/span ID
+// capture from an open span.
+func EmitTraced(b *testing.B) {
+	now := 0.0
+	lg := logging.New(1, func() float64 { return now })
+	tr := trace.New(1, func() float64 { return now })
+	c := lg.Component("bench")
+	sp := tr.StartTrace("bench")
+	defer sp.FinishAt(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.WarnT(sp, "preemption notice",
+			logging.Str("pool", "gpu_a100"),
+			logging.Float("reclaim_at", 2.5))
+	}
+}
+
+// SamplerKeep measures the seeded sampling decision guarding high-rate
+// paths. Zero allocs: it is one mix of per-sampler state.
+func SamplerKeep(b *testing.B) {
+	lg := logging.New(1, func() float64 { return 0 })
+	s := lg.Sampler("bench/price", 0.25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	kept := 0
+	for i := 0; i < b.N; i++ {
+		if s.Keep() {
+			kept++
+		}
+	}
+	_ = kept
+}
+
+// RecordsMerge measures the read side: merging the per-component rings
+// into one emission-ordered slice, the path `chameleonctl logs` and the
+// flight recorder's window capture pay.
+func RecordsMerge(b *testing.B) {
+	now := 0.0
+	lg := logging.New(1, func() float64 { return now })
+	comps := []*logging.Component{
+		lg.Component("cloud"), lg.Component("sched"),
+		lg.Component("serve"), lg.Component("chaos"),
+	}
+	for i := 0; i < 2048; i++ {
+		now = float64(i) * 0.01
+		comps[i%len(comps)].Info("transition", logging.Int("i", int(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := lg.Records(0)
+		if len(recs) == 0 {
+			b.Fatal("no records")
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package logging_test
+
+import (
+	"testing"
+
+	"repro/internal/logging/bench"
+)
+
+func BenchmarkEmitRetained(b *testing.B) { bench.EmitRetained(b) }
+
+func BenchmarkEmitFiltered(b *testing.B) { bench.EmitFiltered(b) }
+
+func BenchmarkEmitTraced(b *testing.B) { bench.EmitTraced(b) }
+
+func BenchmarkSamplerKeep(b *testing.B) { bench.SamplerKeep(b) }
+
+func BenchmarkRecordsMerge(b *testing.B) { bench.RecordsMerge(b) }

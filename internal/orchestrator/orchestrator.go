@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/logging"
 	"repro/internal/simclock"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -117,6 +118,7 @@ type Cluster struct {
 	events []string
 
 	tel    *telemetry.Bus  // nil disables instrumentation
+	log    *logging.Component // "orchestrator" stream; nil no-ops
 	clk    *simclock.Clock // nil means "time stands at 0" (MTTR reads 0)
 	tracer *trace.Tracer   // nil disables evacuation tracing
 
@@ -159,6 +161,15 @@ func (c *Cluster) SetTelemetry(b *telemetry.Bus) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tel = b
+}
+
+// SetLogging attaches the structured logger; node state changes,
+// evictions, rolling updates, and reschedules leave "orchestrator" log
+// lines. Call before concurrent use.
+func (c *Cluster) SetLogging(lg *logging.Logger) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log = lg.Component("orchestrator")
 }
 
 // SetTracer attaches a tracer: every node failure SyncFromCloud detects
@@ -232,11 +243,13 @@ func (c *Cluster) SetNodeReady(name string, ready bool) error {
 		delete(c.downSince, name)
 		c.tel.Emit("orchestrator.node_up", telemetry.String("node", name),
 			telemetry.Float("t", c.nowLocked()))
+		c.log.Info("node ready", logging.Str("node", name))
 	} else {
 		c.downSince[name] = c.nowLocked()
 		c.tel.Counter("orchestrator.node_failures").Inc()
 		c.tel.Emit("orchestrator.node_down", telemetry.String("node", name),
 			telemetry.Float("t", c.nowLocked()))
+		c.log.Error("node down", logging.Str("node", name))
 	}
 	return nil
 }
@@ -332,6 +345,9 @@ func (c *Cluster) Reconcile() int {
 				telemetry.String("pod", p.Name),
 				telemetry.String("node", node),
 				telemetry.Float("t", c.nowLocked()))
+			c.log.Warn("pod evicted: node down",
+				logging.Str("pod", p.Name),
+				logging.Str("node", node))
 			actions++
 		}
 	}
@@ -351,6 +367,9 @@ func (c *Cluster) Reconcile() int {
 					telemetry.String("pod", p.Name),
 					telemetry.String("deployment", d.Name),
 					telemetry.Float("t", c.nowLocked()))
+				c.log.Info("rolling update",
+					logging.Str("pod", p.Name),
+					logging.Str("deployment", d.Name))
 				actions++
 				break
 			}
@@ -392,6 +411,10 @@ func (c *Cluster) Reconcile() int {
 					telemetry.String("node", p.Node),
 					telemetry.Float("mttr_hours", mttr),
 					telemetry.Float("t", c.nowLocked()))
+				c.log.Info("pod rescheduled",
+					logging.Str("pod", p.Name),
+					logging.Str("node", p.Node),
+					logging.Float("mttr_hours", mttr))
 			}
 			actions++
 		}

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/cloud"
+	"repro/internal/logging"
 	"repro/internal/objectstore"
 	"repro/internal/resilience"
 	"repro/internal/simclock"
@@ -137,6 +138,7 @@ type TrainController struct {
 	store  *objectstore.Service
 	tel    *telemetry.Bus
 	tracer *trace.Tracer
+	log    *logging.Component // "train" stream; nil no-ops
 
 	// RetryHours is the backoff before re-trying a failed relaunch.
 	retryHours float64
@@ -174,6 +176,15 @@ func (tc *TrainController) SetTelemetry(b *telemetry.Bus) {
 	tc.mu.Lock()
 	defer tc.mu.Unlock()
 	tc.tel = b
+}
+
+// SetLogging attaches the structured logger; the training lifecycle
+// (submit, launch, preemption notices, lost work, migrations, done)
+// leaves "train" log lines.
+func (tc *TrainController) SetLogging(lg *logging.Logger) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.log = lg.Component("train")
 }
 
 // SetTracer attaches a tracer; each job gets a trace with segment,
@@ -214,6 +225,9 @@ func (tc *TrainController) Submit(spec TrainJobSpec) error {
 		telemetry.String("job", spec.Name),
 		telemetry.Int("total_steps", spec.TotalSteps),
 		telemetry.Float("t", now))
+	tc.log.InfoT(j.span, "train job submitted",
+		logging.Str("job", spec.Name),
+		logging.Int("total_steps", spec.TotalSteps))
 	tc.launchLocked(j)
 	return nil
 }
@@ -271,6 +285,9 @@ func (tc *TrainController) launchLocked(j *trainJob) {
 			telemetry.String("job", j.spec.Name),
 			telemetry.String("error", err.Error()),
 			telemetry.Float("t", now))
+		tc.log.WarnT(j.span, "relaunch failed, backing off",
+			logging.Str("job", j.spec.Name),
+			logging.Str("error", err.Error()))
 		jn := j.spec.Name
 		tc.clk.After(tc.retryHours, "orchestrator.train_retry "+jn, func() {
 			tc.mu.Lock()
@@ -292,6 +309,11 @@ func (tc *TrainController) launchLocked(j *trainJob) {
 		telemetry.String("flavor", target.Flavor.Name),
 		telemetry.String("pricing", pricingOf(spot)),
 		telemetry.Float("t", now))
+	tc.log.InfoT(j.span, "train job launched",
+		logging.Str("job", j.spec.Name),
+		logging.Str("instance", inst.ID),
+		logging.Str("flavor", target.Flavor.Name),
+		logging.Str("pricing", pricingOf(spot)))
 
 	// Restoring a checkpoint stalls the job before it can step again;
 	// a fresh job (nothing persisted) starts immediately.
@@ -496,6 +518,11 @@ func (tc *TrainController) loseWorkLocked(j *trainJob, steps int, hours float64,
 		telemetry.Int("steps", steps),
 		telemetry.Float("hours", hours),
 		telemetry.Float("t", tc.clk.Now()))
+	tc.log.WarnT(j.span, "training work lost",
+		logging.Str("job", j.spec.Name),
+		logging.Str("cause", cause),
+		logging.Int("steps", steps),
+		logging.Float("hours", hours))
 }
 
 // onNotice reacts to a spot preemption notice for one of our
@@ -522,6 +549,10 @@ func (tc *TrainController) onNotice(n cloud.SpotNotice) {
 		telemetry.String("pool", n.Pool),
 		telemetry.Float("reclaim_at", n.ReclaimAt),
 		telemetry.Float("t", now))
+	tc.log.WarnT(j.span, "preemption notice received",
+		logging.Str("job", j.spec.Name),
+		logging.Str("pool", n.Pool),
+		logging.Float("reclaim_at", n.ReclaimAt))
 	if j.span != nil {
 		j.migSpan = j.span.StartChildAt("migrate", now,
 			telemetry.String("pool", n.Pool),
@@ -613,6 +644,10 @@ func (tc *TrainController) migrateLocked(j *trainJob, cause string) {
 		telemetry.String("cause", cause),
 		telemetry.Int("from_step", j.persistedSteps),
 		telemetry.Float("t", now))
+	tc.log.InfoT(j.span, "migrating train job",
+		logging.Str("job", j.spec.Name),
+		logging.Str("cause", cause),
+		logging.Int("from_step", j.persistedSteps))
 	if sp := j.migSpan; sp != nil {
 		relSp := sp.StartChildAt("relaunch", now)
 		relSp.FinishAt(now)
@@ -640,6 +675,11 @@ func (tc *TrainController) finishLocked(j *trainJob) {
 		telemetry.Int("lost_steps", j.lostSteps),
 		telemetry.Int("preemptions", j.preemptions),
 		telemetry.Float("t", now))
+	tc.log.InfoT(j.span, "train job done",
+		logging.Str("job", j.spec.Name),
+		logging.Int("steps", j.persistedSteps),
+		logging.Int("lost_steps", j.lostSteps),
+		logging.Int("preemptions", j.preemptions))
 	if j.span != nil {
 		j.span.Annotate(
 			telemetry.Int("preemptions", j.preemptions),

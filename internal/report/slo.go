@@ -83,6 +83,12 @@ func Dashboard(db *tsdb.DB, eng *alert.Engine, now float64) string {
 	writePanel(&b, db, now, "serve.queue_depth", "serve.queue_depth")
 	writePanel(&b, db, now, "sched jobs rate (1h)", `rate(sched.jobs_scheduled{policy!=""}[1h])`)
 
+	b.WriteString("\n-- Spot market --\n")
+	writePanel(&b, db, now, "spot price", `cloud.spot_price{pool!=""}`)
+	writePanel(&b, db, now, "cloud.spot_preemptions", "cloud.spot_preemptions")
+	writePanel(&b, db, now, "cloud.spot_reclaims", "cloud.spot_reclaims")
+	writePanel(&b, db, now, "cloud.spot_vacated", "cloud.spot_vacated")
+
 	b.WriteString("\n-- Latency quantiles --\n")
 	wroteAny := false
 	for _, name := range db.Names() {

@@ -33,6 +33,9 @@ func TestDashboardDeterministicAndComplete(t *testing.T) {
 		bus.Gauge(telemetry.Labeled("cloud.instances_active",
 			telemetry.String("flavor", "m1.large"))).Set(3)
 		bus.Gauge("serve.queue_depth").Set(5)
+		bus.Gauge(telemetry.Labeled("cloud.spot_price",
+			telemetry.String("pool", "gpu_a100"))).Set(1.25)
+		bus.Counter("cloud.spot_preemptions").Add(2)
 		h := bus.Histogram("serve.batch_form_seconds", telemetry.LatencyBuckets())
 		for i := 0; i < 40; i++ {
 			h.Observe(0.001 * float64(1+i%7))
@@ -56,6 +59,11 @@ func TestDashboardDeterministicAndComplete(t *testing.T) {
 		"== Dashboard (t=2.00h) ==",
 		"-- Capacity --",
 		"-- Queues --",
+		"-- Spot market --",
+		`spot price{pool="gpu_a100"}`,
+		"cloud.spot_preemptions",
+		"cloud.spot_reclaims",
+		"cloud.spot_vacated",
 		"-- Latency quantiles --",
 		"-- Observability --",
 		"tsdb.scrapes",

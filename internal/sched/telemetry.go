@@ -3,6 +3,7 @@ package sched
 import (
 	"sync/atomic"
 
+	"repro/internal/logging"
 	"repro/internal/telemetry"
 )
 
@@ -20,10 +21,26 @@ func SetTelemetry(b *telemetry.Bus) { tel.Store(b) }
 
 func telemetryBus() *telemetry.Bus { return tel.Load() }
 
+// Logging follows the same package-level pattern: SetLogging installs
+// the "sched" log stream used by all scheduler runs (nil disables). A
+// nil-logger Component is itself nil-safe, so call sites never check.
+var logComp atomic.Pointer[logging.Component]
+
+// SetLogging installs the structured logger for all scheduler runs.
+// Safe to call concurrently with running schedulers.
+func SetLogging(lg *logging.Logger) { logComp.Store(lg.Component("sched")) }
+
+func logStream() *logging.Component { return logComp.Load() }
+
 // queueWaitBuckets spans sub-hour waits through multi-day starvation.
 func queueWaitBuckets() []float64 { return telemetry.ExpBuckets(0.25, 2, 12) }
 
 func recordRun(policy string, res Result) {
+	logStream().Info("scheduler run complete",
+		logging.Str("policy", policy),
+		logging.Int("jobs", len(res.Assignments)),
+		logging.Float("makespan_h", res.Makespan),
+		logging.Float("avg_wait_h", res.AvgWait))
 	b := telemetryBus()
 	if b == nil {
 		return
@@ -44,6 +61,11 @@ func recordRun(policy string, res Result) {
 }
 
 func recordPreemptiveRun(res PreemptiveResult) {
+	logStream().Info("scheduler run complete",
+		logging.Str("policy", "preemptive"),
+		logging.Int("jobs", len(res.Assignments)),
+		logging.Int("preemptions", res.TotalPreemptions),
+		logging.Float("makespan_h", res.Makespan))
 	b := telemetryBus()
 	if b == nil {
 		return
@@ -66,6 +88,9 @@ func recordPreemptiveRun(res PreemptiveResult) {
 }
 
 func recordPreemption(jobID string, at float64) {
+	logStream().Debug("job preempted",
+		logging.Str("job", jobID),
+		logging.Float("t", at))
 	b := telemetryBus()
 	if b == nil {
 		return

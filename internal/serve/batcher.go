@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/logging"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -69,6 +70,8 @@ type Batcher struct {
 	telQueueDepth *telemetry.Gauge
 	telBatchSize  *telemetry.Histogram
 	telBatchForm  *telemetry.Histogram
+	log           *logging.Component // "serve" stream; nil no-ops
+	logBatch      *logging.Sampler   // keeps ~10% of batch-execute lines
 	clk           clock.Clock
 
 	mu          sync.Mutex
@@ -132,6 +135,14 @@ func (b *Batcher) SetTelemetry(bus *telemetry.Bus) {
 	b.telQueueDepth = bus.Gauge("serve.queue_depth")
 	b.telBatchSize = bus.Histogram("serve.batch_size", telemetry.LinearBuckets(1, 1, 32))
 	b.telBatchForm = bus.Histogram("serve.batch_form_seconds", telemetry.LatencyBuckets())
+}
+
+// SetLogging attaches the structured logger; batch executions (sampled
+// — they are the batcher's hottest path), sheds, and shutdown leave
+// "serve" log lines. Call before Submit.
+func (b *Batcher) SetLogging(lg *logging.Logger) {
+	b.log = lg.Component("serve")
+	b.logBatch = lg.Sampler("serve/batch", 0.1)
 }
 
 // instance collects one batch at a time and executes it.
@@ -228,6 +239,15 @@ func (b *Batcher) run(batch []*Request) {
 	b.tel.Emit("serve.batch",
 		telemetry.Int("size", len(batch)),
 		telemetry.Float("form_ms", float64(formation.Microseconds())/1000))
+	if err != nil {
+		b.log.Error("batch execution failed",
+			logging.Int("size", len(batch)),
+			logging.Str("error", err.Error()))
+	} else if b.logBatch.Keep() {
+		b.log.Debug("batch executed",
+			logging.Int("size", len(batch)),
+			logging.Float("form_ms", float64(formation.Microseconds())/1000))
+	}
 	for i, r := range batch {
 		resp := Response{BatchSize: len(batch), Err: err}
 		if err == nil {
@@ -297,6 +317,7 @@ func (b *Batcher) TrySubmit(input []float64) (Response, error) {
 	if len(b.queue) >= cap(b.queue) {
 		b.telShed.Inc()
 		b.tel.Emit("serve.shed")
+		b.log.Warn("request shed: queue full", logging.Int("depth", len(b.queue)))
 		return Response{}, ErrOverloaded
 	}
 	return b.Submit(input)
@@ -309,6 +330,7 @@ func (b *Batcher) TrySubmitTraced(input []float64, parent *trace.Span) (Response
 	if len(b.queue) >= cap(b.queue) {
 		b.telShed.Inc()
 		b.tel.Emit("serve.shed")
+		b.log.WarnT(parent, "request shed: queue full", logging.Int("depth", len(b.queue)))
 		span := parent.StartChild("serve.request",
 			telemetry.String("outcome", "shed"),
 			telemetry.String("error", ErrOverloaded.Error()))
@@ -338,6 +360,7 @@ func (b *Batcher) Close() {
 				r.result <- Response{Err: ErrBatcherClosed}
 			default:
 				b.tel.Emit("serve.close")
+				b.log.Info("batcher closed")
 				return
 			}
 		}
